@@ -1,0 +1,76 @@
+"""E1 — the paper's system test (§3.2.1, Abstract, §5).
+
+Paper claim: with the tuned configuration, a 100-client workload ran for
+24 hours "without much deadlock/timeout problem", sustaining ~300
+link-inserts/min and ~150 updates/min.
+
+Default run is scaled (fewer clients / 30 virtual minutes); REPRO_FULL=1
+runs 100 clients for 24 virtual hours.
+"""
+
+from benchmarks.conftest import full_scale, print_table, run_once
+from repro.workloads import SystemTestConfig, run_system_test
+
+PAPER = {"clients": 100, "inserts_per_min": 300, "updates_per_min": 150,
+         "deadlocks": "few", "timeouts": "few"}
+
+
+def test_e1_system_test_tuned(benchmark):
+    duration = 86_400.0 if full_scale() else 1_800.0
+    clients = 100 if full_scale() else 100
+
+    def run():
+        return run_system_test(SystemTestConfig(
+            clients=clients, duration=duration))
+
+    report = run_once(benchmark, run)
+    summary = report.summary()
+    print_table(
+        "E1 system test (tuned DLFM configuration)",
+        ["metric", "paper", "measured"],
+        [
+            ("clients", PAPER["clients"], summary["clients"]),
+            ("virtual duration (min)", 1440, summary["virtual_minutes"]),
+            ("inserts/min", PAPER["inserts_per_min"],
+             summary["inserts_per_min"]),
+            ("updates/min", PAPER["updates_per_min"],
+             summary["updates_per_min"]),
+            ("deadlocks", PAPER["deadlocks"], summary["deadlocks"]),
+            ("lock timeouts", PAPER["timeouts"], summary["lock_timeouts"]),
+            ("lock escalations", 0, summary["escalations"]),
+            ("p95 latency (s)", "n/a", round(summary["p95_latency_s"], 3)),
+        ])
+    # Shape assertions: the tuned system sustains the paper's regime.
+    assert summary["inserts_per_min"] > 200
+    assert summary["updates_per_min"] > 90
+    assert summary["deadlocks"] <= 2
+    assert summary["lock_timeouts"] <= 2
+    assert summary["escalations"] == 0
+
+
+def test_e1_client_scaling(benchmark):
+    """Throughput scales with client count in the tuned configuration
+    (think-time bound, not contention bound)."""
+    counts = [10, 25, 50, 100] if not full_scale() else [10, 50, 100, 200]
+
+    def run():
+        results = []
+        for n in counts:
+            report = run_system_test(SystemTestConfig(
+                clients=n, duration=600.0))
+            results.append((n, report))
+        return results
+
+    results = run_once(benchmark, run)
+    rows = []
+    for n, report in results:
+        summary = report.summary()
+        rows.append((n, summary["inserts_per_min"],
+                     summary["updates_per_min"], summary["deadlocks"],
+                     summary["lock_timeouts"]))
+    print_table("E1 scaling (tuned)",
+                ["clients", "ins/min", "upd/min", "deadlocks", "timeouts"],
+                rows)
+    ins = [r[1] for r in rows]
+    assert ins == sorted(ins)  # monotone scaling
+    assert all(r[3] <= 2 for r in rows)

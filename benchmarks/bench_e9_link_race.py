@@ -1,0 +1,123 @@
+"""E9 — the check-flag unique index closes the link race (§3.2).
+
+Paper claim: "During the link file operation, file entry check and
+insert must be an atomic operation (otherwise there is a small window
+where two child agents can both check for and not find the linked entry
+for a file and then insert the two linked entries for the same file). To
+close the window for race condition, a unique index on filename and a
+new check-flag is defined. ... This unique index prevents two linked
+entries but allows multiple unlinked entries for the same file."
+
+Adversarial harness: K clients race to link each of M files at the same
+instant. Invariants: exactly one winner per file, every loser gets a
+clean 'already linked' error, at most one linked entry per file, and a
+file that was linked and unlinked repeatedly accumulates multiple
+unlinked entries but never a second linked one.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.dlfm import schema
+from repro.errors import LinkError, TransactionAborted
+from repro.host import DatalinkSpec, build_url
+from repro.kernel.sim import Timeout
+from repro.system import System
+
+FILES = 30
+RACERS = 6
+
+
+def _run():
+    system = System(seed=17)
+    dlfm = system.dlfms["fs1"]
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "race", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=True)})
+        for i in range(FILES):
+            system.create_user_file("fs1", f"/race/f{i:03d}", owner="u")
+
+    system.run(setup())
+    outcomes = {"ok": 0, "already_linked": 0, "other": 0}
+
+    def racer(racer_id):
+        session = system.session()
+        rng = system.sim.stream(f"racer{racer_id}")
+        for i in range(FILES):
+            yield Timeout(rng.random() * 0.01)  # near-simultaneous
+            try:
+                yield from session.execute(
+                    "INSERT INTO race (id, doc) VALUES (?, ?)",
+                    (racer_id * 1000 + i, build_url("fs1",
+                                                    f"/race/f{i:03d}")))
+                yield from session.commit()
+                outcomes["ok"] += 1
+            except LinkError:
+                yield from session.rollback()
+                outcomes["already_linked"] += 1
+            except TransactionAborted:
+                yield from session.rollback()
+                outcomes["other"] += 1
+
+    def root():
+        procs = [system.sim.spawn(racer(r), f"racer{r}")
+                 for r in range(RACERS)]
+        for proc in procs:
+            yield from proc.join()
+
+    system.run(root())
+
+    # linked-entry invariant per file
+    linked_per_file = {}
+    unlinked_per_file = {}
+    for row in dlfm.file_entries():
+        if row[8] == schema.ST_LINKED:
+            linked_per_file[row[0]] = linked_per_file.get(row[0], 0) + 1
+        elif row[8] == schema.ST_UNLINKED:
+            unlinked_per_file[row[0]] = unlinked_per_file.get(row[0], 0) + 1
+
+    # link/unlink churn: multiple unlinked entries accumulate for one file
+    def churn():
+        session = system.session()
+        for round_no in range(3):
+            yield from session.execute(
+                "DELETE FROM race WHERE doc = ?",
+                (build_url("fs1", "/race/f000"),))
+            yield from session.commit()
+            yield from session.execute(
+                "INSERT INTO race (id, doc) VALUES (?, ?)",
+                (90_000 + round_no, build_url("fs1", "/race/f000")))
+            yield from session.commit()
+
+    system.run(churn())
+    churn_unlinked = sum(
+        1 for row in dlfm.file_entries()
+        if row[0] == "/race/f000" and row[8] == schema.ST_UNLINKED)
+    churn_linked = sum(
+        1 for row in dlfm.file_entries()
+        if row[0] == "/race/f000" and row[8] == schema.ST_LINKED)
+    return (outcomes, linked_per_file, unlinked_per_file, churn_unlinked,
+            churn_linked)
+
+
+def test_e9_link_race(benchmark):
+    (outcomes, linked_per_file, _unlinked, churn_unlinked,
+     churn_linked) = run_once(benchmark, _run)
+    print_table(
+        f"E9 — {RACERS} racers × {FILES} files simultaneous LinkFile",
+        ["invariant", "paper", "measured"],
+        [
+            ("successful links", FILES, outcomes["ok"]),
+            ("clean 'already linked' errors", FILES * (RACERS - 1),
+             outcomes["already_linked"] + outcomes["other"]),
+            ("files with 2+ linked entries", 0,
+             sum(1 for v in linked_per_file.values() if v > 1)),
+            ("unlinked entries after 3 unlink/relink rounds", "several",
+             churn_unlinked),
+            ("linked entries after churn", 1, churn_linked),
+        ])
+    assert outcomes["ok"] == FILES
+    assert all(v == 1 for v in linked_per_file.values())
+    assert len(linked_per_file) == FILES
+    assert churn_unlinked == 3   # one marker per unlink round
+    assert churn_linked == 1

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once under
+``benchmark.pedantic`` (the numbers of interest are *simulated* metrics,
+not wall time) and prints a paper-vs-measured table.
+
+Scale: by default experiments run at reduced virtual duration / client
+count so the whole suite finishes in minutes. Set ``REPRO_FULL=1`` for
+the paper-scale runs (100 clients, 24 virtual hours for E1).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def full_scale() -> bool:
+    return FULL
+
+
+def print_table(title: str, columns: list[str], rows: list[tuple]) -> None:
+    widths = [max(len(str(col)), *(len(str(r[i])) for r in rows))
+              for i, col in enumerate(columns)] if rows else [
+                  len(c) for c in columns]
+    line = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    print(f"\n== {title}")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

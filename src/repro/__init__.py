@@ -1,0 +1,17 @@
+"""Reproduction of "DLFM: A Transactional Resource Manager" (SIGMOD 2000).
+
+Layer map (bottom-up):
+
+* :mod:`repro.kernel` -- deterministic discrete-event simulation kernel.
+* :mod:`repro.minidb` + :mod:`repro.sql` -- the embedded RDBMS playing
+  DB2's role (DLFM's local store and the host database engine).
+* :mod:`repro.fs`, :mod:`repro.dlff`, :mod:`repro.archive` -- file server,
+  file-system filter, and ADSM-like archive server.
+* :mod:`repro.dlfm` -- the paper's contribution: the DataLinks File
+  Manager (child agents, link/unlink, 2PC participant, daemons).
+* :mod:`repro.host` -- host database with the datalink engine, the 2PC
+  coordinator, and the backup/restore/reconcile utilities.
+* :mod:`repro.system` -- one-call wiring of a whole DataLinks deployment.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``systemtest`` — run the paper's system test (E1) at chosen scale and
+  print the summary (add ``--untuned`` to see the pathological arm).
+* ``experiments`` — list every experiment and the command regenerating it.
+* ``paper`` — one-paragraph description of what this reproduces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = [
+    ("E1", "100-client system test: ~300 ins/min + ~150 upd/min",
+     "pytest benchmarks/bench_e1_system_test.py --benchmark-only -s"),
+    ("E2", "Fig 4: commit processing acquires locks; retries",
+     "pytest benchmarks/bench_e2_commit_locks.py --benchmark-only -s"),
+    ("E3", "next-key locking deadlocks",
+     "pytest benchmarks/bench_e3_next_key_locking.py --benchmark-only -s"),
+    ("E4", "optimizer statistics: table-scan havoc + RUNSTATS guard",
+     "pytest benchmarks/bench_e4_optimizer_stats.py --benchmark-only -s"),
+    ("E5", "lock escalation brings the system to its knees",
+     "pytest benchmarks/bench_e5_lock_escalation.py --benchmark-only -s"),
+    ("E6", "async commit → distributed deadlock",
+     "pytest benchmarks/bench_e6_sync_commit.py --benchmark-only -s"),
+    ("E7", "lock-timeout sweep (the 60 s choice)",
+     "pytest benchmarks/bench_e7_timeout_sweep.py --benchmark-only -s"),
+    ("E8", "log-full vs batched local commits",
+     "pytest benchmarks/bench_e8_batched_commit.py --benchmark-only -s"),
+    ("E9", "check-flag unique-index link race",
+     "pytest benchmarks/bench_e9_link_race.py --benchmark-only -s"),
+    ("E10", "crash/recovery matrix",
+     "pytest benchmarks/bench_e10_recovery.py --benchmark-only -s"),
+]
+
+PAPER = """\
+Reproduction of: Hsiao & Narang, "DLFM: A Transactional Resource
+Manager" (IBM Almaden, SIGMOD 2000) — the DataLinks File Manager of DB2
+UDB 5.2, which links external files to database transactions: 2PC
+between host database and file-server resource managers, a local RDBMS
+used as a black-box persistent store, referential integrity via a file
+system filter, coordinated backup/restore, and the operational lessons
+(next-key locking, optimizer statistics, lock escalation, synchronous
+commit, lock timeouts, batched commits) that made it work.
+See DESIGN.md and EXPERIMENTS.md."""
+
+
+def cmd_systemtest(args) -> int:
+    from repro.dlfm.config import DLFMConfig
+    from repro.minidb.config import TimingModel
+    from repro.workloads import SystemTestConfig, run_system_test
+
+    dlfm_config = None
+    if args.untuned:
+        dlfm_config = DLFMConfig.untuned(timing=TimingModel.calibrated())
+    report = run_system_test(SystemTestConfig(
+        clients=args.clients, duration=args.minutes * 60.0,
+        seed=args.seed, dlfm_config=dlfm_config))
+    label = "untuned" if args.untuned else "tuned"
+    print(f"system test ({label}, {args.clients} clients, "
+          f"{args.minutes} virtual minutes):")
+    for key, value in report.summary().items():
+        print(f"  {key:<18} {value}")
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    width = max(len(desc) for _, desc, _ in EXPERIMENTS)
+    for exp_id, desc, cmd in EXPERIMENTS:
+        print(f"{exp_id:<4} {desc:<{width}}  {cmd}")
+    return 0
+
+
+def cmd_paper(_args) -> int:
+    print(PAPER)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    st = sub.add_parser("systemtest", help="run the E1 system test")
+    st.add_argument("--clients", type=int, default=100)
+    st.add_argument("--minutes", type=float, default=30.0,
+                    help="virtual duration (paper: 1440)")
+    st.add_argument("--seed", type=int, default=42)
+    st.add_argument("--untuned", action="store_true",
+                    help="use the pathological pre-lessons configuration")
+    st.set_defaults(fn=cmd_systemtest)
+
+    exps = sub.add_parser("experiments", help="list experiment harnesses")
+    exps.set_defaults(fn=cmd_experiments)
+
+    paper = sub.add_parser("paper", help="what this reproduces")
+    paper.set_defaults(fn=cmd_paper)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

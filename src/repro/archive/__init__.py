@@ -1,0 +1,5 @@
+"""ADSM-like archive server (the paper's backup target)."""
+
+from repro.archive.server import ArchiveServer, ArchivedCopy
+
+__all__ = ["ArchiveServer", "ArchivedCopy"]

@@ -1,0 +1,94 @@
+"""Versioned blob store standing in for IBM ADSM.
+
+Copies are keyed by ``(server, path, recovery_id)`` — the paper's point
+that a file of the same name can be linked/unlinked repeatedly with
+different content is exactly why the recovery id is part of the key.
+Transfers cost simulated time proportional to size, preserving the
+asynchrony that coordinated backup depends on (the Copy daemon runs long
+after the linking transaction committed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ArchiveError
+from repro.kernel.sim import Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class ArchivedCopy:
+    server: str
+    path: str
+    recovery_id: str
+    content: str
+    owner: str
+    group: str
+    mode: int
+    archived_at: float
+
+
+class ArchiveServer:
+    #: Simulated seconds per content byte transferred (plus fixed setup).
+    TRANSFER_SETUP = 0.05
+    TRANSFER_PER_BYTE = 0.0001
+
+    def __init__(self, sim: Simulator, name: str = "adsm",
+                 charge_time: bool = False):
+        self.sim = sim
+        self.name = name
+        self.charge_time = charge_time
+        self._copies: dict[tuple[str, str, str], ArchivedCopy] = {}
+        self.stores = 0
+        self.retrieves = 0
+        self.deletes = 0
+
+    def _transfer(self, nbytes: int):
+        if self.charge_time:
+            yield Timeout(self.TRANSFER_SETUP
+                          + self.TRANSFER_PER_BYTE * nbytes)
+
+    # -- operations (generators: transfers take time) ---------------------------
+
+    def store(self, server: str, path: str, recovery_id: str, content: str,
+              owner: str, group: str, mode: int):
+        """Generator: archive one version; idempotent per recovery id."""
+        yield from self._transfer(len(content))
+        key = (server, path, recovery_id)
+        self._copies[key] = ArchivedCopy(
+            server=server, path=path, recovery_id=recovery_id,
+            content=content, owner=owner, group=group, mode=mode,
+            archived_at=self.sim.now)
+        self.stores += 1
+
+    def retrieve(self, server: str, path: str, recovery_id: str):
+        """Generator: fetch one archived version."""
+        key = (server, path, recovery_id)
+        copy = self._copies.get(key)
+        if copy is None:
+            raise ArchiveError(f"no archived copy {key}")
+        yield from self._transfer(len(copy.content))
+        self.retrieves += 1
+        return copy
+
+    def delete_version(self, server: str, path: str, recovery_id: str) -> None:
+        """Garbage collection of an obsolete backup copy."""
+        key = (server, path, recovery_id)
+        if key not in self._copies:
+            raise ArchiveError(f"no archived copy {key}")
+        del self._copies[key]
+        self.deletes += 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def has_copy(self, server: str, path: str, recovery_id: str) -> bool:
+        return (server, path, recovery_id) in self._copies
+
+    def versions(self, server: str, path: str) -> list[ArchivedCopy]:
+        return sorted((c for (s, p, _), c in self._copies.items()
+                       if s == server and p == path),
+                      key=lambda c: c.archived_at)
+
+    def copy_count(self) -> int:
+        return len(self._copies)

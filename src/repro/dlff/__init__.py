@@ -1,0 +1,11 @@
+"""DataLinks File System Filter (DLFF).
+
+Intercepts file-system commands on a file server and enforces the
+constraints DLFM registered: linked files cannot be deleted, renamed or
+moved; files linked with full access control (DB-owned, read-only) can
+only be read with a valid host-issued access token.
+"""
+
+from repro.dlff.filter import AccessToken, Filter, FilteredFileSystem
+
+__all__ = ["AccessToken", "Filter", "FilteredFileSystem"]

@@ -1,0 +1,14 @@
+"""DataLinks File Manager — the paper's transactional resource manager.
+
+DLFM lives on a file server and makes link/unlink of external files
+transactional with the host database's SQL transactions. It keeps all of
+its metadata in a local :mod:`repro.minidb` database reached *only*
+through SQL (the paper's "DB2 as a black box" bet), participates in
+two-phase commit with the host, and runs six service daemons (Chown,
+Copy, Retrieve, Delete-Group, Garbage Collector, Upcall).
+"""
+
+from repro.dlfm.config import DLFMConfig
+from repro.dlfm.manager import DLFM
+
+__all__ = ["DLFM", "DLFMConfig"]

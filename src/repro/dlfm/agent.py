@@ -1,0 +1,145 @@
+"""DLFM child agents (paper §3.5).
+
+The main daemon spawns one child agent per host-DB connection; all
+requests from that connection are served by it, one at a time — while it
+is busy, further sends from the host block (rendezvous channel), which is
+the mechanism behind the paper's synchronous-commit lesson (E6).
+
+A child agent owns one local-database session. Forward operations of a
+host transaction accumulate in one local transaction; Prepare performs
+the hardening local COMMIT; phase-2 Commit/Abort run through the
+manager's retry loops on fresh sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dlfm import api
+from repro.errors import TransactionAborted, TwoPCProtocolError
+from repro.kernel.channel import Channel
+from repro.kernel.rpc import serve_loop
+from repro.kernel.sim import Timeout
+
+
+class ChildAgent:
+    def __init__(self, dlfm):
+        self.dlfm = dlfm
+        self.chan = Channel(dlfm.sim, capacity=0, name="dlfm-agent")
+        self.session = None
+        self.current: Optional[tuple[str, int]] = None
+        self.prepared = False
+        self.failed = False
+        self.requests = 0
+
+    def serve(self):
+        yield from serve_loop(self.chan, self.dispatch)
+
+    # ------------------------------------------------------------------ dispatch
+
+    def dispatch(self, req):
+        self.requests += 1
+        yield from self.dlfm._charge_rpc()
+
+        if isinstance(req, api.BeginTxn):
+            return self._begin(req)
+        if isinstance(req, (api.LinkFile, api.UnlinkFile, api.RegisterGroup,
+                            api.DeleteGroup)):
+            return (yield from self._forward(req))
+        if isinstance(req, api.CommitPiece):
+            self._check_txn(req)
+            return (yield from self.dlfm.op_commit_piece(self.session, req))
+        if isinstance(req, api.Prepare):
+            return (yield from self._prepare(req))
+        if isinstance(req, api.Commit):
+            return (yield from self._commit(req))
+        if isinstance(req, api.Abort):
+            return (yield from self._abort(req))
+        if isinstance(req, api.ListIndoubt):
+            return (yield from self.dlfm.op_list_indoubt(req))
+        if isinstance(req, api.EnsureArchived):
+            return (yield from self.dlfm.op_ensure_archived(req))
+        if isinstance(req, api.RestoreToBackup):
+            return (yield from self.dlfm.op_restore_to_backup(req))
+        if isinstance(req, api.ReconcileFiles):
+            return (yield from self.dlfm.op_reconcile(req))
+        raise TwoPCProtocolError(f"unknown DLFM request {req!r}")
+
+    # ------------------------------------------------------------------ handlers
+
+    def _begin(self, req: api.BeginTxn):
+        if self.current is not None and not self.failed:
+            raise TwoPCProtocolError(
+                f"BeginTxn {req.txn_id} while {self.current} is active")
+        self.session = self.dlfm.db.session()
+        self.current = (req.dbid, req.txn_id)
+        self.prepared = False
+        self.failed = False
+        return {"started": True}
+
+    def _check_txn(self, req) -> None:
+        if self.current != (req.dbid, req.txn_id):
+            raise TwoPCProtocolError(
+                f"request for txn {(req.dbid, req.txn_id)} but agent is on "
+                f"{self.current}")
+
+    def _forward(self, req):
+        self._check_txn(req)
+        if self.failed:
+            raise TransactionAborted(
+                "local transaction already rolled back; the host must "
+                "abort the whole transaction", reason="failed")
+        try:
+            if isinstance(req, api.LinkFile):
+                return (yield from self.dlfm.op_link_file(self.session, req))
+            if isinstance(req, api.UnlinkFile):
+                return (yield from self.dlfm.op_unlink_file(self.session,
+                                                            req))
+            if isinstance(req, api.RegisterGroup):
+                return (yield from self.dlfm.op_register_group(self.session,
+                                                               req))
+            return (yield from self.dlfm.op_delete_group(self.session, req))
+        except TransactionAborted:
+            # A severe local error (deadlock/timeout/log-full) already
+            # rolled the local transaction back; the host database will
+            # roll back the full transaction (§3.2).
+            self.failed = True
+            raise
+
+    def _prepare(self, req: api.Prepare):
+        self._check_txn(req)
+        if self.failed:
+            raise TransactionAborted("cannot prepare a failed transaction",
+                                     reason="failed")
+        result = yield from self.dlfm.op_prepare(self.session, req)
+        self.prepared = True
+        return result
+
+    def _commit(self, req: api.Commit):
+        if self.current == (req.dbid, req.txn_id) and not self.prepared:
+            raise TwoPCProtocolError(
+                f"Commit for txn {req.txn_id} before Prepare")
+        result = yield from self.dlfm.op_commit(req)
+        self._finish(req)
+        return result
+
+    def _abort(self, req: api.Abort):
+        if self.current == (req.dbid, req.txn_id) and not self.prepared:
+            # Abort before prepare: plain local rollback (§3.3).
+            if self.session is not None and not self.failed:
+                yield from self.session.rollback()
+            self.dlfm.metrics.aborts += 1
+            self._finish(req)
+            return {"outcome": "rolled-back"}
+        # After prepare (or an unknown transaction resolved indoubt):
+        # phase-2 abort via the delayed-update records; idempotent.
+        result = yield from self.dlfm.op_abort_prepared(req)
+        self._finish(req)
+        return result
+
+    def _finish(self, req) -> None:
+        if self.current == (req.dbid, req.txn_id):
+            self.current = None
+            self.session = None
+            self.prepared = False
+            self.failed = False

@@ -1,0 +1,124 @@
+"""DLFM API request types (paper §2: "DLFM provides a set of APIs which
+the datalink engine uses to make requests for linking a file, unlinking a
+file, carrying out two-phase commit protocol, etc.").
+
+Every request that belongs to a host transaction carries ``(dbid,
+txn_id)`` — the host-generated monotonically increasing transaction id
+the paper stresses is "absolutely essential", because DLFM has no logging
+of its own and relates all metadata changes to transactions through
+these ids stored in its SQL tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BeginTxn:
+    dbid: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class LinkFile:
+    dbid: str
+    txn_id: int
+    path: str
+    grp_id: int
+    recovery_id: str
+    access_ctl: str = "full"      # "full" | "partial"
+    recovery: str = "yes"         # archive for coordinated recovery?
+    #: Set for compensation during host statement/savepoint rollback: a
+    #: LinkFile with in_backout undoes a previous UnlinkFile (§3.2).
+    in_backout: bool = False
+
+
+@dataclass(frozen=True)
+class UnlinkFile:
+    dbid: str
+    txn_id: int
+    path: str
+    recovery_id: str
+    in_backout: bool = False
+
+
+@dataclass(frozen=True)
+class RegisterGroup:
+    """New file group: one datalink column of one host SQL table."""
+    dbid: str
+    txn_id: int
+    grp_id: int
+    table_name: str
+    column_name: str
+
+
+@dataclass(frozen=True)
+class DeleteGroup:
+    """Host DROP TABLE: mark the group deleted; files unlink asynchronously."""
+    dbid: str
+    txn_id: int
+    grp_id: int
+    in_backout: bool = False
+
+
+@dataclass(frozen=True)
+class CommitPiece:
+    """Long-running utility (load/reconcile) checkpoint: commit the work
+    done so far LOCALLY while the host transaction stays open (§4).
+
+    The first CommitPiece of a transaction inserts its transaction-table
+    entry marked ``in-flight``; completed pieces are never undone — a
+    failed utility is *resumed*, not rolled back.
+    """
+    dbid: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class Prepare:
+    dbid: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class Commit:
+    dbid: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class Abort:
+    dbid: str
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class ListIndoubt:
+    """Host restart / indoubt-resolver poll: which txns are prepared here?"""
+    dbid: str
+
+
+@dataclass(frozen=True)
+class EnsureArchived:
+    """Backup utility: make sure these files' copies exist (high priority),
+    then record the backup cycle."""
+    dbid: str
+    backup_id: int
+    recovery_id: str  # host recovery-id watermark at backup time
+
+
+@dataclass(frozen=True)
+class RestoreToBackup:
+    """Restore utility: reconcile DLFM metadata with a restored host DB."""
+    dbid: str
+    recovery_id: str  # watermark preserved in the host backup image
+
+
+@dataclass(frozen=True)
+class ReconcileFiles:
+    """Reconcile utility: authoritative list of (path, recovery_id) the
+    host database currently references for this DLFM's server."""
+    dbid: str
+    entries: tuple  # tuple[(path, recovery_id, grp_id, access_ctl, recovery)]

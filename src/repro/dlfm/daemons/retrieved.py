@@ -1,0 +1,47 @@
+"""Retrieve daemon: restore archived files into the file system (§3.5).
+
+Used after the host database is restored to a point in the past: linked
+files that no longer exist on disk are fetched from the archive server
+(by their recovery id, which identifies the exact version) and recreated
+through the Chown daemon (root privilege needed — the file may belong to
+any user).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchiveError
+from repro.kernel.channel import Channel
+from repro.kernel.rpc import call, serve_loop
+
+
+class RetrieveDaemon:
+    def __init__(self, dlfm):
+        self.dlfm = dlfm
+        self.chan = Channel(dlfm.sim, capacity=16, name="retrieved")
+        self.restored = 0
+
+    def run(self):
+        yield from serve_loop(self.chan, self._dispatch)
+
+    # -- client side ----------------------------------------------------------
+
+    def restore(self, path: str, recovery_id: str):
+        """Generator: restore one file version; blocks until done."""
+        result = yield from call(self.dlfm.sim, self.chan,
+                                 {"path": path, "recovery_id": recovery_id})
+        return result
+
+    # -- server side -----------------------------------------------------------
+
+    def _dispatch(self, payload: dict):
+        dlfm = self.dlfm
+        path = payload["path"]
+        recovery_id = payload["recovery_id"]
+        copy = yield from dlfm.archive.retrieve(
+            dlfm.server.name, path, recovery_id)
+        yield from dlfm.chown.request(
+            "restore_file", path, content=copy.content, owner=copy.owner,
+            group=copy.group, mode=copy.mode)
+        self.restored += 1
+        dlfm.metrics.files_restored += 1
+        return {"restored": True, "bytes": len(copy.content)}

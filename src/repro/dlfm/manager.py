@@ -1,0 +1,669 @@
+"""The DLFM main daemon and its metadata operations.
+
+A :class:`DLFM` owns a local :class:`~repro.minidb.Database` (its black
+box persistent store), the DLFF filter on its file server, and the six
+service daemons (paper Figure 5). Connections from host database agents
+spawn child agents (:mod:`repro.dlfm.agent`); the metadata and 2PC logic
+the agents invoke lives here so daemons and utilities can share it.
+
+Transactional design (paper §3.3/§4):
+
+* forward link/unlink work runs in one local-database transaction per
+  host transaction; abort before prepare is a plain local rollback;
+* **Prepare** inserts the transaction-table entry and issues the local
+  COMMIT — from then on the local database cannot roll the work back;
+* phase-2 **Commit/Abort** therefore use the *delayed-update scheme*
+  (mark/restore) and must acquire new locks, so they can deadlock or
+  time out; they retry until they succeed (Figure 4, experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.archive import ArchiveServer
+from repro.dlff.filter import DLFM_ADMIN, Filter
+from repro.dlfm import api, schema
+from repro.dlfm.config import DLFMConfig
+from repro.dlfm.daemons.chown import ChownDaemon
+from repro.dlfm.daemons.copyd import CopyDaemon
+from repro.dlfm.daemons.delete_group import DeleteGroupDaemon
+from repro.dlfm.daemons.gc import GarbageCollector
+from repro.dlfm.daemons.retrieved import RetrieveDaemon
+from repro.dlfm.daemons.upcall import UpcallDaemon
+from repro.errors import (LinkError, TransactionAborted, TwoPCProtocolError,
+                          UnlinkError)
+from repro.fs.filesystem import FileServer
+from repro.kernel.sim import Simulator, Timeout
+from repro.minidb import Database
+from repro.sql.parser import parse as parse_sql
+
+
+@dataclass
+class DLFMMetrics:
+    links: int = 0
+    unlinks: int = 0
+    link_errors: int = 0
+    backouts: int = 0
+    prepares: int = 0
+    commits: int = 0
+    aborts: int = 0
+    commit_retries: int = 0
+    abort_retries: int = 0
+    files_archived: int = 0
+    files_restored: int = 0
+    groups_registered: int = 0
+    groups_deleted: int = 0
+    gc_entries_removed: int = 0
+    gc_copies_removed: int = 0
+    indoubt_reported: int = 0
+    stats_repins: int = 0
+
+
+class DLFM:
+    def __init__(self, sim: Simulator, name: str, server: FileServer,
+                 archive: ArchiveServer,
+                 config: Optional[DLFMConfig] = None,
+                 token_secret: str = "dlff-secret"):
+        self.sim = sim
+        self.name = name
+        self.server = server
+        self.archive = archive
+        self.config = config or DLFMConfig.tuned()
+        self.metrics = DLFMMetrics()
+        self.db = Database(sim, f"dlfm-{name}", self.config.local_db)
+        schema.create_schema(self.db, sim)
+        if self.config.pin_statistics:
+            schema.pin_statistics(self.db)
+
+        # DLFF mount + daemons (started by start()).
+        self.filter = Filter(sim, token_secret)
+        self.filtered_fs = self.filter.mount(server)
+        self.chown = ChownDaemon(sim, server.fs, secret=f"{name}-chown")
+        self.copyd = CopyDaemon(self)
+        self.retrieved = RetrieveDaemon(self)
+        self.delete_groupd = DeleteGroupDaemon(self)
+        self.gc = GarbageCollector(self)
+        self.upcalld = UpcallDaemon(self)
+        self.filter.set_upcall(self.upcalld.query)
+        self._daemon_procs: list = []
+        self._agents: list = []
+        self.running = False
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Spawn the service daemons (the paper's Figure 5 process model)."""
+        if self.running:
+            return
+        self.running = True
+        spawn = self.sim.spawn
+        self._daemon_procs = [
+            spawn(self.chown.run(), f"{self.name}-chownd"),
+            spawn(self.copyd.run(), f"{self.name}-copyd"),
+            spawn(self.retrieved.run(), f"{self.name}-retrieved"),
+            spawn(self.delete_groupd.run(), f"{self.name}-delgrpd"),
+            spawn(self.gc.run(), f"{self.name}-gcd"),
+            spawn(self.upcalld.run(), f"{self.name}-upcalld"),
+        ]
+
+    def stop(self) -> None:
+        for proc in self._daemon_procs:
+            if not proc.finished:
+                proc.kill()
+        self._daemon_procs = []
+        self.running = False
+
+    def connect(self):
+        """Host DB2 agent connect request → spawn a child agent.
+
+        Returns the request channel the host agent talks to (the paper's
+        per-connection child agent, §3.5).
+        """
+        from repro.dlfm.agent import ChildAgent
+        if not self.running:
+            raise TwoPCProtocolError(f"DLFM {self.name} is not available")
+        agent = ChildAgent(self)
+        self._agents.append(agent)
+        self.sim.spawn(agent.serve(), f"{self.name}-agent-{len(self._agents)}")
+        return agent.chan
+
+    def crash(self) -> None:
+        """The DLFM node fails: local database and all processes die."""
+        self.stop()
+        for agent in self._agents:
+            agent.chan.close()
+        self._agents = []
+        self.db.crash()
+
+    def restart(self) -> dict:
+        """Restart after a crash: local DB recovery, daemons resume work.
+
+        Prepared transactions stay indoubt until the host resolves them
+        (§3.3); committed transactions with pending group deletions are
+        picked up again by the Delete-Group daemon; pending archive
+        entries are picked up by the Copy daemon.
+        """
+        summary = self.db.restart()
+        if self.config.pin_statistics:
+            self.metrics.stats_repins += schema.pin_statistics(self.db)
+        self.start()
+        self.delete_groupd.rescan_needed = True
+        return summary
+
+    # ------------------------------------------------------------------ statistics guard
+
+    def ensure_statistics(self) -> bool:
+        """The paper's guard logic: detect that someone overwrote the
+        hand-crafted statistics (user RUNSTATS) and re-pin + rebind."""
+        if not self.config.pin_statistics:
+            return False
+        if schema.statistics_are_pinned(self.db):
+            return False
+        self.metrics.stats_repins += schema.pin_statistics(self.db)
+        return True
+
+    # ------------------------------------------------------------------ forward ops
+
+    def _charge_rpc(self):
+        cost = self.config.local_db.timing.rpc_cost()
+        if cost > 0:
+            yield Timeout(cost)
+
+    def op_link_file(self, session, req: api.LinkFile):
+        """Generator: LinkFile forward processing (paper §3.2)."""
+        if req.in_backout:
+            # §3.2: "For link file request with in_backout set, DLFM
+            # deletes the linked file entry that was inserted by [the]
+            # current transaction."
+            self.metrics.backouts += 1
+            removed = yield from session.execute(
+                "DELETE FROM dfm_file WHERE filename = ? AND link_txn = ? "
+                "AND dbid = ? AND state = ?",
+                (req.path, req.txn_id, req.dbid, schema.ST_LINKED))
+            if removed != 1:
+                raise LinkError(
+                    f"in_backout link found {removed} linked entries "
+                    f"for {req.path}")
+            return {"removed": True}
+
+        # Check 1: the file must exist on this server (via Chown daemon,
+        # which also supplies the original ownership for later release).
+        from repro.errors import FileNotFound
+        try:
+            info = yield from self.chown.request("stat", req.path)
+        except FileNotFound:
+            self.metrics.link_errors += 1
+            raise LinkError(
+                f"{req.path} does not exist on server {self.name}") from None
+        # Check 2: the file group must exist and be active.
+        group = yield from session.query_one(
+            "SELECT state FROM dfm_group WHERE grp_id = ? AND dbid = ?",
+            (req.grp_id, req.dbid))
+        if group is None or group[0] != schema.GRP_ACTIVE:
+            raise LinkError(f"file group {req.grp_id} missing or deleted")
+        # Same-transaction unlink+relink: the file is still under database
+        # control, so a live stat would record the DLFM admin user as the
+        # "original" owner. Inherit the true originals from the pending
+        # unlinking entry instead.
+        pending = yield from session.query_one(
+            "SELECT orig_owner, orig_group, orig_mode FROM dfm_file "
+            "WHERE filename = ? AND dbid = ? AND state = ?",
+            (req.path, req.dbid, schema.ST_UNLINKING))
+        if pending is not None:
+            info = {"owner": pending[0], "group": pending[1],
+                    "mode": pending[2]}
+        # Check 3 + insert, made atomic by the unique (filename,
+        # check_flag) index: a concurrent linker loses with a duplicate.
+        from repro.errors import DuplicateKeyError
+        try:
+            yield from session.execute(
+                "INSERT INTO dfm_file (filename, dbid, grp_id, recovery_id, "
+                "link_txn, unlink_txn, unlink_recovery_id, unlink_time, "
+                "state, check_flag, access_ctl, recovery, orig_owner, "
+                "orig_group, orig_mode, archived) "
+                "VALUES (?, ?, ?, ?, ?, NULL, NULL, NULL, ?, ?, ?, ?, ?, "
+                "?, ?, 0)",
+                (req.path, req.dbid, req.grp_id, req.recovery_id,
+                 req.txn_id, schema.ST_LINKED, schema.LINKED_FLAG,
+                 req.access_ctl, req.recovery, info["owner"], info["group"],
+                 info["mode"]))
+        except DuplicateKeyError:
+            self.metrics.link_errors += 1
+            raise LinkError(f"{req.path} is already linked") from None
+        self.metrics.links += 1
+        return {"linked": True}
+
+    def op_unlink_file(self, session, req: api.UnlinkFile):
+        """Generator: UnlinkFile forward processing (delayed update)."""
+        if req.in_backout:
+            # §3.2: "For unlink request with the flag set, the unlinked
+            # file entry is restored back to linked state."
+            self.metrics.backouts += 1
+            restored = yield from session.execute(
+                "UPDATE dfm_file SET state = ?, check_flag = ?, "
+                "unlink_txn = NULL, unlink_recovery_id = NULL, "
+                "unlink_time = NULL "
+                "WHERE filename = ? AND unlink_txn = ? AND dbid = ? "
+                "AND state = ?",
+                (schema.ST_LINKED, schema.LINKED_FLAG, req.path, req.txn_id,
+                 req.dbid, schema.ST_UNLINKING))
+            if restored != 1:
+                raise UnlinkError(
+                    f"in_backout unlink found {restored} unlinking entries "
+                    f"for {req.path}")
+            return {"restored": True}
+
+        entry = yield from session.query_one(
+            "SELECT state FROM dfm_file WHERE filename = ? AND "
+            "check_flag = ? AND dbid = ? FOR UPDATE",
+            (req.path, schema.LINKED_FLAG, req.dbid))
+        if entry is None or entry[0] != schema.ST_LINKED:
+            raise UnlinkError(f"{req.path} is not linked")
+        # Delayed update: mark unlinking; check_flag moves to the unlink
+        # recovery id so a re-link of the same file (even in this very
+        # transaction) can insert a fresh linked entry (§3.2).
+        yield from session.execute(
+            "UPDATE dfm_file SET state = ?, unlink_txn = ?, "
+            "unlink_recovery_id = ?, unlink_time = ?, check_flag = ? "
+            "WHERE filename = ? AND check_flag = ?",
+            (schema.ST_UNLINKING, req.txn_id, req.recovery_id, self.sim.now,
+             req.recovery_id, req.path, schema.LINKED_FLAG))
+        self.metrics.unlinks += 1
+        return {"unlinked": True}
+
+    def op_register_group(self, session, req: api.RegisterGroup):
+        yield from session.execute(
+            "INSERT INTO dfm_group (grp_id, dbid, table_name, column_name, "
+            "state, delete_txn, delete_time, expires_at) "
+            "VALUES (?, ?, ?, ?, ?, NULL, NULL, NULL)",
+            (req.grp_id, req.dbid, req.table_name, req.column_name,
+             schema.GRP_ACTIVE))
+        self.metrics.groups_registered += 1
+        return {"registered": True}
+
+    def op_delete_group(self, session, req: api.DeleteGroup):
+        """Mark a group deleted (host DROP TABLE); daemon unlinks later."""
+        if req.in_backout:
+            yield from session.execute(
+                "UPDATE dfm_group SET state = ?, delete_txn = NULL, "
+                "delete_time = NULL, expires_at = NULL "
+                "WHERE grp_id = ? AND delete_txn = ? AND dbid = ?",
+                (schema.GRP_ACTIVE, req.grp_id, req.txn_id, req.dbid))
+            return {"restored": True}
+        changed = yield from session.execute(
+            "UPDATE dfm_group SET state = ?, delete_txn = ?, "
+            "delete_time = ?, expires_at = ? "
+            "WHERE grp_id = ? AND dbid = ? AND state = ?",
+            (schema.GRP_DELETED, req.txn_id, self.sim.now,
+             self.sim.now + self.config.group_lifetime, req.grp_id,
+             req.dbid, schema.GRP_ACTIVE))
+        if changed != 1:
+            raise LinkError(f"group {req.grp_id} missing or already deleted")
+        return {"deleted": True}
+
+    # ------------------------------------------------------------------ utility checkpoints
+
+    def op_commit_piece(self, session, req: api.CommitPiece):
+        """Generator: local commit of a utility piece (§4).
+
+        "The transaction entry is inserted into transaction table in DLFM
+        database when a local commit is issued for the first time for a
+        given transaction but keep the entry marked as in-flight."
+        """
+        existing = yield from session.query_one(
+            "SELECT state FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+            (req.dbid, req.txn_id))
+        if existing is None:
+            yield from session.execute(
+                "INSERT INTO dfm_txn (dbid, txn_id, state, prepare_time, "
+                "groups_deleted) VALUES (?, ?, ?, NULL, 0)",
+                (req.dbid, req.txn_id, schema.TXN_INFLIGHT))
+        yield from session.commit()
+        return {"piece_committed": True}
+
+    # ------------------------------------------------------------------ 2PC participant
+
+    def op_prepare(self, session, req: api.Prepare):
+        """Generator: phase 1 — harden everything with a local COMMIT."""
+        groups = yield from session.execute(
+            "SELECT COUNT(*) FROM dfm_group WHERE delete_txn = ? AND "
+            "dbid = ? AND state = ?",
+            (req.txn_id, req.dbid, schema.GRP_DELETED))
+        n_groups = groups.scalar()
+        existing = yield from session.query_one(
+            "SELECT state FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+            (req.dbid, req.txn_id))
+        if existing is None:
+            yield from session.execute(
+                "INSERT INTO dfm_txn (dbid, txn_id, state, prepare_time, "
+                "groups_deleted) VALUES (?, ?, ?, ?, ?)",
+                (req.dbid, req.txn_id, schema.TXN_PREPARED, self.sim.now,
+                 n_groups))
+        else:
+            # Long utility transaction already has an in-flight entry.
+            yield from session.execute(
+                "UPDATE dfm_txn SET state = ?, prepare_time = ?, "
+                "groups_deleted = ? WHERE dbid = ? AND txn_id = ?",
+                (schema.TXN_PREPARED, self.sim.now, n_groups, req.dbid,
+                 req.txn_id))
+        yield from session.commit()  # the vote: local database hardened
+        self.metrics.prepares += 1
+        return {"vote": "yes"}
+
+    def op_commit(self, req: api.Commit):
+        """Generator: phase 2 commit — retry until it succeeds (Fig. 4)."""
+        attempt = 0
+        while True:
+            try:
+                result = yield from self._commit_once(req)
+                self.metrics.commits += 1
+                return result
+            except TransactionAborted:
+                attempt += 1
+                self.metrics.commit_retries += 1
+                limit = self.config.commit_retry_limit
+                if limit is not None and attempt >= limit:
+                    raise
+                yield Timeout(self.config.commit_retry_delay)
+
+    def _commit_once(self, req: api.Commit):
+        session = self.db.session()
+        txn_row = yield from session.query_one(
+            "SELECT state, groups_deleted FROM dfm_txn "
+            "WHERE dbid = ? AND txn_id = ? FOR UPDATE",
+            (req.dbid, req.txn_id))
+        if txn_row is None:
+            yield from session.rollback()
+            return {"outcome": "already-finished"}  # idempotent redelivery
+        _, groups_deleted = txn_row
+
+        # Unlinked files first: release to the file system; delete the
+        # entry when no point-in-time recovery is needed, else keep it as
+        # an unlinked version marker (§3.2). Releases run before takeovers
+        # so an unlink+relink of the SAME file in one transaction ends up
+        # taken over, not released.
+        unlinking = yield from session.execute(
+            "SELECT filename, recovery, orig_owner, orig_group, orig_mode "
+            "FROM dfm_file WHERE unlink_txn = ? AND dbid = ? AND state = ?",
+            (req.txn_id, req.dbid, schema.ST_UNLINKING))
+        for path, recovery, owner, group, mode in unlinking:
+            yield from self.chown.request("release", path, owner=owner,
+                                          group=group, mode=mode)
+            if recovery == "yes":
+                yield from session.execute(
+                    "UPDATE dfm_file SET state = ? WHERE filename = ? AND "
+                    "unlink_txn = ? AND dbid = ? AND state = ?",
+                    (schema.ST_UNLINKED, path, req.txn_id, req.dbid,
+                     schema.ST_UNLINKING))
+            else:
+                yield from session.execute(
+                    "DELETE FROM dfm_file WHERE filename = ? AND "
+                    "unlink_txn = ? AND dbid = ? AND state = ?",
+                    (path, req.txn_id, req.dbid, schema.ST_UNLINKING))
+
+        # Newly linked files: take over ownership / strip write permission
+        # (enables asynchronous archiving, §3.4) and queue archive work.
+        linked = yield from session.execute(
+            "SELECT filename, recovery_id, access_ctl, recovery "
+            "FROM dfm_file WHERE link_txn = ? AND dbid = ? AND state = ?",
+            (req.txn_id, req.dbid, schema.ST_LINKED))
+        for path, recovery_id, access_ctl, recovery in linked:
+            yield from self.chown.request(
+                "takeover", path, full=(access_ctl == "full"),
+                recovery=(recovery == "yes"))
+            if recovery == "yes":
+                yield from session.execute(
+                    "INSERT INTO dfm_archive (filename, recovery_id, state, "
+                    "enqueued_at) VALUES (?, ?, ?, ?)",
+                    (path, recovery_id, "pending", self.sim.now))
+
+        if groups_deleted:
+            # Keep the entry so the Delete-Group daemon (or a restart
+            # rescan) can find and finish the asynchronous unlinking.
+            yield from session.execute(
+                "UPDATE dfm_txn SET state = ? WHERE dbid = ? AND txn_id = ?",
+                (schema.TXN_COMMITTED, req.dbid, req.txn_id))
+        else:
+            yield from session.execute(
+                "DELETE FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+                (req.dbid, req.txn_id))
+        yield from session.commit()
+        if groups_deleted:
+            yield from self.delete_groupd.notify(req.dbid, req.txn_id)
+        return {"outcome": "committed"}
+
+    def op_abort_prepared(self, req: api.Abort):
+        """Generator: phase 2 abort after prepare — undo committed local
+        changes via the delayed-update records; retry until success."""
+        attempt = 0
+        while True:
+            try:
+                result = yield from self._abort_once(req)
+                self.metrics.aborts += 1
+                return result
+            except TransactionAborted:
+                attempt += 1
+                self.metrics.abort_retries += 1
+                limit = self.config.commit_retry_limit
+                if limit is not None and attempt >= limit:
+                    raise
+                yield Timeout(self.config.commit_retry_delay)
+
+    def _abort_once(self, req: api.Abort):
+        session = self.db.session()
+        txn_row = yield from session.query_one(
+            "SELECT state FROM dfm_txn WHERE dbid = ? AND txn_id = ? "
+            "FOR UPDATE", (req.dbid, req.txn_id))
+        if txn_row is None:
+            yield from session.rollback()
+            return {"outcome": "already-finished"}
+        if txn_row[0] == schema.TXN_INFLIGHT:
+            # A long-running utility: completed pieces are NOT undone
+            # ("undo of completed piece is not needed in case of the
+            # utility failure", §4) — the utility is resumed instead.
+            yield from session.rollback()
+            return {"outcome": "in-flight-kept"}
+        # Order matters: first remove entries this transaction inserted
+        # (frees the unique (filename, '0') slot), then restore entries it
+        # marked unlinking (which re-occupy that slot).
+        yield from session.execute(
+            "DELETE FROM dfm_file WHERE link_txn = ? AND dbid = ?",
+            (req.txn_id, req.dbid))
+        yield from session.execute(
+            "UPDATE dfm_file SET state = ?, check_flag = ?, "
+            "unlink_txn = NULL, unlink_recovery_id = NULL, unlink_time = NULL "
+            "WHERE unlink_txn = ? AND dbid = ? AND state = ?",
+            (schema.ST_LINKED, schema.LINKED_FLAG, req.txn_id, req.dbid,
+             schema.ST_UNLINKING))
+        yield from session.execute(
+            "UPDATE dfm_group SET state = ?, delete_txn = NULL, "
+            "delete_time = NULL, expires_at = NULL WHERE delete_txn = ? "
+            "AND dbid = ?",
+            (schema.GRP_ACTIVE, req.txn_id, req.dbid))
+        yield from session.execute(
+            "DELETE FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+            (req.dbid, req.txn_id))
+        yield from session.commit()
+        return {"outcome": "aborted"}
+
+    def op_list_indoubt(self, req: api.ListIndoubt):
+        """Generator: prepared transactions awaiting the host's verdict."""
+        session = self.db.session()
+        rows = yield from session.execute(
+            "SELECT txn_id FROM dfm_txn WHERE dbid = ? AND state = ?",
+            (req.dbid, schema.TXN_PREPARED))
+        yield from session.commit()
+        self.metrics.indoubt_reported += len(rows)
+        return sorted(r[0] for r in rows)
+
+    # ------------------------------------------------------------------ backup / restore
+
+    def op_ensure_archived(self, req: api.EnsureArchived):
+        """Generator: backup coordination (§3.4) — every file linked up to
+        the watermark must have an archive copy before the host declares
+        its backup successful; pending ones are copied with priority."""
+        session = self.db.session()
+        pending = yield from session.execute(
+            "SELECT filename, recovery_id FROM dfm_archive WHERE state = ?",
+            ("pending",))
+        yield from session.commit()
+        if pending.rows:
+            yield from self.copyd.archive_priority(list(pending.rows))
+        session = self.db.session()
+        yield from session.execute(
+            "INSERT INTO dfm_backup (backup_id, dbid, recovery_id, "
+            "backup_time) VALUES (?, ?, ?, ?)",
+            (req.backup_id, req.dbid, req.recovery_id, self.sim.now))
+        yield from session.commit()
+        return {"archived": len(pending.rows)}
+
+    def op_restore_to_backup(self, req: api.RestoreToBackup):
+        """Generator: host database was restored to ``recovery_id``; bring
+        DLFM metadata and the file system back in sync (§3.4).
+
+        * entries linked before the watermark but unlinked after → back to
+          linked (retrieving the file from the archive if it is gone);
+        * entries linked after the watermark → removed / released.
+        """
+        watermark = req.recovery_id
+        restored = released = 0
+        session = self.db.session()
+
+        # Pass 1: entries linked AFTER the backup are released/removed —
+        # first, so their check_flag='0' slots are free before pass 2
+        # resurrects older versions of the same filenames.
+        too_new = yield from session.execute(
+            "SELECT filename, recovery_id, orig_owner, orig_group, "
+            "orig_mode FROM dfm_file WHERE state = ? AND dbid = ?",
+            (schema.ST_LINKED, req.dbid))
+        for path, recovery_id, owner, group, mode in too_new.rows:
+            if recovery_id > watermark:
+                yield from self.chown.request("release", path, owner=owner,
+                                              group=group, mode=mode)
+                yield from session.execute(
+                    "DELETE FROM dfm_file WHERE filename = ? AND "
+                    "recovery_id = ?", (path, recovery_id))
+                released += 1
+
+        # Pass 2: entries linked before the backup and unlinked after it
+        # come back to linked state (file retrieved from the archive
+        # server if it is gone).
+        resurrect = yield from session.execute(
+            "SELECT filename, recovery_id, access_ctl FROM dfm_file "
+            "WHERE state = ? AND dbid = ?", (schema.ST_UNLINKED, req.dbid))
+        for path, recovery_id, access_ctl in resurrect.rows:
+            entry = yield from session.query_one(
+                "SELECT unlink_recovery_id FROM dfm_file WHERE filename = ? "
+                "AND recovery_id = ? AND state = ?",
+                (path, recovery_id, schema.ST_UNLINKED))
+            unlink_rid = entry[0]
+            if recovery_id <= watermark < unlink_rid:
+                if not self.server.fs.exists(path):
+                    yield from self.retrieved.restore(path, recovery_id)
+                yield from self.chown.request(
+                    "takeover", path, full=(access_ctl == "full"))
+                yield from session.execute(
+                    "UPDATE dfm_file SET state = ?, check_flag = ?, "
+                    "unlink_txn = NULL, unlink_recovery_id = NULL, "
+                    "unlink_time = NULL WHERE filename = ? AND "
+                    "recovery_id = ?",
+                    (schema.ST_LINKED, schema.LINKED_FLAG, path, recovery_id))
+                restored += 1
+        yield from session.commit()
+        self.metrics.files_restored += restored
+        return {"restored": restored, "released": released}
+
+    def op_reconcile(self, req: api.ReconcileFiles):
+        """Generator: the Reconcile utility's DLFM side (§3.4).
+
+        The host ships its authoritative datalink references; they land in
+        a temp table (reducing message count, as the paper describes) and
+        set difference (EXCEPT) against dfm_file drives the fix-up.
+        """
+        session = self.db.session()
+        yield from session.execute("CREATE TABLE temp_reconcile "
+                                   "(filename TEXT, recovery_id TEXT, "
+                                   "grp_id INT, access_ctl TEXT, "
+                                   "recovery TEXT)")
+        try:
+            count = 0
+            for path, recovery_id, grp_id, access_ctl, recovery in req.entries:
+                yield from session.execute(
+                    "INSERT INTO temp_reconcile (filename, recovery_id, "
+                    "grp_id, access_ctl, recovery) VALUES (?, ?, ?, ?, ?)",
+                    (path, recovery_id, grp_id, access_ctl, recovery))
+                count += 1
+                if count % self.config.batch_commit_n == 0:
+                    yield from session.commit()
+
+            # Missing on DLFM: host references it, no linked entry here.
+            missing = yield from session.execute(
+                "SELECT filename, recovery_id FROM temp_reconcile "
+                "EXCEPT "
+                "SELECT filename, recovery_id FROM dfm_file WHERE state = ?",
+                (schema.ST_LINKED,))
+            relinked = 0
+            specs = {(p, r): (g, a, rec)
+                     for p, r, g, a, rec in req.entries}
+            for path, recovery_id in missing.rows:
+                grp_id, access_ctl, recovery = specs[(path, recovery_id)]
+                if not self.server.fs.exists(path):
+                    continue  # host side must drop the reference instead
+                info = yield from self.chown.request("stat", path)
+                yield from session.execute(
+                    "INSERT INTO dfm_file (filename, dbid, grp_id, "
+                    "recovery_id, link_txn, unlink_txn, unlink_recovery_id, "
+                    "unlink_time, state, check_flag, access_ctl, recovery, "
+                    "orig_owner, orig_group, orig_mode, archived) "
+                    "VALUES (?, ?, ?, ?, 0, NULL, NULL, NULL, ?, ?, ?, ?, "
+                    "?, ?, ?, 0)",
+                    (path, req.dbid, grp_id, recovery_id, schema.ST_LINKED,
+                     schema.LINKED_FLAG, access_ctl, recovery,
+                     info["owner"], info["group"], info["mode"]))
+                yield from self.chown.request(
+                    "takeover", path, full=(access_ctl == "full"))
+                relinked += 1
+
+            # Orphaned on DLFM: linked here, not referenced by the host.
+            orphans = yield from session.execute(
+                "SELECT filename, recovery_id FROM dfm_file WHERE state = ? "
+                "AND dbid = ? "
+                "EXCEPT SELECT filename, recovery_id FROM temp_reconcile",
+                (schema.ST_LINKED, req.dbid))
+            removed = 0
+            for path, recovery_id in orphans.rows:
+                entry = yield from session.query_one(
+                    "SELECT orig_owner, orig_group, orig_mode FROM dfm_file "
+                    "WHERE filename = ? AND recovery_id = ? AND state = ?",
+                    (path, recovery_id, schema.ST_LINKED))
+                if self.server.fs.exists(path):
+                    yield from self.chown.request(
+                        "release", path, owner=entry[0], group=entry[1],
+                        mode=entry[2])
+                yield from session.execute(
+                    "DELETE FROM dfm_file WHERE filename = ? AND "
+                    "recovery_id = ? AND state = ?",
+                    (path, recovery_id, schema.ST_LINKED))
+                removed += 1
+            yield from session.commit()
+
+            # Host-side dangling references: URL points at a file that
+            # exists neither on disk nor in dfm_file.
+            dangling = [p for p, r in missing.rows
+                        if not self.server.fs.exists(p)]
+            return {"relinked": relinked, "removed": removed,
+                    "dangling": dangling}
+        finally:
+            self.db.ddl(parse_sql("DROP TABLE temp_reconcile"))
+
+    # ------------------------------------------------------------------ inspection
+
+    def file_entries(self) -> list[tuple]:
+        """Unlocked debug dump of dfm_file (tests and examples only)."""
+        return self.db.table_rows("dfm_file")
+
+    def linked_count(self) -> int:
+        return sum(1 for row in self.db.table_rows("dfm_file")
+                   if row[8] == schema.ST_LINKED)

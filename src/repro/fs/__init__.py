@@ -1,0 +1,5 @@
+"""In-memory file server (stands in for the paper's AIX/JFS file systems)."""
+
+from repro.fs.filesystem import FileNode, FileSystem, FileServer
+
+__all__ = ["FileNode", "FileSystem", "FileServer"]

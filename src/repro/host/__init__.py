@@ -1,0 +1,16 @@
+"""Host database: the DB2 side of DataLinks.
+
+* :mod:`hostdb` — the host database node: user tables on minidb, the
+  DATALINK column registry, group management, crash/restart.
+* :mod:`session` — application sessions with the datalink engine hooks
+  (link on INSERT, unlink on DELETE, unlink+link on UPDATE) and the 2PC
+  coordinator commit path.
+* :mod:`indoubt` — indoubt-resolution after DLFM or host failures.
+* :mod:`backup` / :mod:`reconcile` — the coordinated backup/restore and
+  reconcile utilities.
+"""
+
+from repro.host.datalink import DatalinkSpec, build_url, parse_url
+from repro.host.hostdb import HostConfig, HostDB
+
+__all__ = ["DatalinkSpec", "HostConfig", "HostDB", "build_url", "parse_url"]

@@ -1,0 +1,67 @@
+"""Coordinated backup and restore utilities (paper §3.4).
+
+Backup: take a recovery-id watermark, make every DLFM finish its pending
+asynchronous archive copies (high priority) and record the backup cycle,
+then snapshot the host database. The backup image remembers the watermark
+and the involved file servers, as the paper describes.
+
+Restore: put the host database back to the chosen image, then tell every
+involved DLFM to reconcile its metadata against the watermark — files
+linked before the backup and unlinked after come back to linked state
+(retrieved from the archive server if missing on disk); files linked
+after the backup are released.
+"""
+
+from __future__ import annotations
+
+from repro.dlfm import api
+from repro.kernel import rpc
+
+
+def backup_database(host):
+    """Generator: run a coordinated backup; returns the backup id."""
+    backup_id = next(host._backup_counter)
+    watermark = host.recovery_ids.watermark()
+    archived = {}
+    for server in sorted(host.dlfms):
+        dlfm = host.dlfms[server]
+        chan = dlfm.connect()
+        try:
+            result = yield from rpc.call(
+                host.sim, chan, api.EnsureArchived(
+                    host.dbid, backup_id, watermark))
+            archived[server] = result["archived"]
+        finally:
+            chan.close()
+    image = host.db.backup_image()
+    host.backups[backup_id] = {
+        "image": image,
+        "watermark": watermark,
+        "servers": sorted(host.dlfms),
+        "taken_at": host.sim.now,
+        "archived": archived,
+        "datalink_columns": {t: dict(c)
+                             for t, c in host.datalink_columns.items()},
+        "group_ids": dict(host.group_ids),
+    }
+    return backup_id
+
+
+def restore_database(host, backup_id: int):
+    """Generator: point-in-time restore to ``backup_id``; returns stats."""
+    backup = host.backups[backup_id]
+    host.db.restore_image(backup["image"])
+    host.datalink_columns = {t: dict(c)
+                             for t, c in backup["datalink_columns"].items()}
+    host.group_ids = dict(backup["group_ids"])
+    results = {}
+    for server in backup["servers"]:
+        dlfm = host.dlfms[server]
+        chan = dlfm.connect()
+        try:
+            results[server] = yield from rpc.call(
+                host.sim, chan, api.RestoreToBackup(
+                    host.dbid, backup["watermark"]))
+        finally:
+            chan.close()
+    return results

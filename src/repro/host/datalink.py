@@ -1,0 +1,52 @@
+"""The DATALINK column type: URL values plus per-column behaviour."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataLinkError
+
+URL_SCHEME = "dlfs://"
+
+
+@dataclass(frozen=True)
+class DatalinkSpec:
+    """Behaviour of one DATALINK column (paper §2/§3: the column
+    definition's constraints for integrity, access control, recovery)."""
+
+    #: "full": DLFM takes ownership, file is read-only, reads need tokens.
+    #: "partial": file keeps its owner; DLFF upcalls guard delete/rename.
+    access_control: str = "full"
+    #: Archive linked files for coordinated point-in-time recovery?
+    recovery: bool = True
+
+    def __post_init__(self):
+        if self.access_control not in ("full", "partial"):
+            raise DataLinkError(
+                f"bad access_control {self.access_control!r}")
+
+    @property
+    def recovery_flag(self) -> str:
+        return "yes" if self.recovery else "no"
+
+
+def build_url(server: str, path: str) -> str:
+    if not path.startswith("/"):
+        raise DataLinkError(f"path must be absolute: {path!r}")
+    return f"{URL_SCHEME}{server}{path}"
+
+
+def parse_url(url: str) -> tuple[str, str]:
+    """Split ``dlfs://server/path`` → (server, path)."""
+    if not url.startswith(URL_SCHEME):
+        raise DataLinkError(f"not a DATALINK URL: {url!r}")
+    rest = url[len(URL_SCHEME):]
+    slash = rest.find("/")
+    if slash <= 0:
+        raise DataLinkError(f"malformed DATALINK URL: {url!r}")
+    return rest[:slash], rest[slash:]
+
+
+def shadow_column(column: str) -> str:
+    """The engine-maintained column holding the link's recovery id."""
+    return f"{column}__recid"

@@ -1,0 +1,151 @@
+"""The host database node (the paper's "host DB2").
+
+Owns the user tables (on minidb), the DATALINK column registry, group
+ids, recovery-id generation, access-token issuing, and the durable 2PC
+decision table ``dlk_indoubt`` (presumed abort: a decision row exists iff
+the transaction committed and phase 2 has not been fully acknowledged).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dlff.filter import AccessToken
+from repro.dlfm import api
+from repro.errors import DataLinkError
+from repro.host.datalink import DatalinkSpec, parse_url, shadow_column
+from repro.host.ids import RecoveryIdGenerator
+from repro.kernel import rpc
+from repro.kernel.sim import Simulator
+from repro.minidb import Database, DBConfig
+from repro.sql.parser import parse as parse_sql
+
+
+@dataclass
+class HostConfig:
+    db: DBConfig = field(default_factory=DBConfig)
+    #: Phase-2 commit synchronous w.r.t. the application's SQL commit.
+    #: The paper's lesson says this MUST be True; False reproduces the
+    #: distributed deadlock of experiment E6.
+    sync_commit: bool = True
+    token_expiry: float = 600.0
+    indoubt_poll_period: float = 5.0
+
+
+@dataclass
+class HostMetrics:
+    commits: int = 0
+    rollbacks: int = 0
+    links_sent: int = 0
+    unlinks_sent: int = 0
+    statement_backouts: int = 0
+    prepare_failures: int = 0
+    indoubt_commits: int = 0
+    indoubt_aborts: int = 0
+    tokens_issued: int = 0
+
+
+class HostDB:
+    def __init__(self, sim: Simulator, dbid: str, dlfms: dict,
+                 config: Optional[HostConfig] = None):
+        self.sim = sim
+        self.dbid = dbid
+        self.dlfms = dict(dlfms)  # server name → DLFM
+        self.config = config or HostConfig()
+        self.db = Database(sim, f"host-{dbid}", self.config.db)
+        self.recovery_ids = RecoveryIdGenerator(sim, dbid)
+        self.metrics = HostMetrics()
+        #: table → column → DatalinkSpec (the datalink engine's registry).
+        self.datalink_columns: dict[str, dict[str, DatalinkSpec]] = {}
+        self.group_ids: dict[tuple[str, str], int] = {}
+        self._grp_counter = itertools.count(1)
+        self._backup_counter = itertools.count(1)
+        self.backups: dict[int, dict] = {}
+        self._bootstrap_schema()
+
+    def _bootstrap_schema(self) -> None:
+        self.db.ddl(parse_sql(
+            "CREATE TABLE dlk_indoubt (txn_id INT, server TEXT)"))
+        self.db.ddl(parse_sql(
+            "CREATE INDEX dlk_indoubt_txn ON dlk_indoubt (txn_id)"))
+        # The coordinator's decision table is tiny but hot: without
+        # hand-crafted statistics the optimizer table-scans it on every
+        # phase-2 delete and concurrent committers deadlock — the paper's
+        # E4 lesson applies to the host side too.
+        self.db.set_table_stats("dlk_indoubt", card=100_000,
+                                colcard={"txn_id": 100_000})
+
+    # ------------------------------------------------------------------ sessions
+
+    def session(self):
+        from repro.host.session import HostSession
+        return HostSession(self)
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_datalink_table(self, name: str,
+                              columns: list[tuple[str, str]],
+                              datalink: dict[str, DatalinkSpec]):
+        """Generator: CREATE TABLE with DATALINK columns.
+
+        Datalink columns are stored as TEXT URLs plus an engine-maintained
+        shadow column carrying the link's recovery id (real DB2 embeds
+        this inside the DATALINK value). File groups — one per datalink
+        column — are registered on every DLFM under 2PC.
+        """
+        column_names = {n for n, _ in columns}
+        for col in datalink:
+            if col not in column_names:
+                raise DataLinkError(f"datalink column {col!r} not in table")
+        parts = [f"{n} {t}" for n, t in columns]
+        parts += [f"{shadow_column(c)} TEXT" for c in datalink]
+        self.db.ddl(parse_sql(f"CREATE TABLE {name} ({', '.join(parts)})"))
+        self.datalink_columns[name] = dict(datalink)
+        for col in datalink:
+            self.group_ids[(name, col)] = next(self._grp_counter)
+
+        session = self.session()
+        for col in datalink:
+            grp_id = self.group_ids[(name, col)]
+            for server in sorted(self.dlfms):
+                yield from session.dlfm_call(server, api.RegisterGroup(
+                    self.dbid, session.txn_id_for(server), grp_id, name, col))
+        yield from session.commit()
+
+    def apply_drop(self, name: str) -> None:
+        """Finalize a datalink table drop at commit time."""
+        self.db.ddl(parse_sql(f"DROP TABLE {name}"))
+        for col in self.datalink_columns.pop(name, {}):
+            self.group_ids.pop((name, col), None)
+
+    # ------------------------------------------------------------------ tokens
+
+    def issue_token(self, url: str) -> AccessToken:
+        """Mint the access token an application needs to read a file
+        linked under full access control (paper Fig. 3 flow)."""
+        server, path = parse_url(url)
+        dlfm = self.dlfms.get(server)
+        if dlfm is None:
+            raise DataLinkError(f"unknown file server {server!r}")
+        self.metrics.tokens_issued += 1
+        return AccessToken.sign(dlfm.filter.token_secret, path,
+                                self.sim.now + self.config.token_expiry)
+
+    # ------------------------------------------------------------------ crash / restart
+
+    def crash(self) -> None:
+        self.db.crash()
+
+    def restart(self):
+        """Generator: restart + distributed recovery (paper §3.3).
+
+        Replays forgotten phase-2 commits from ``dlk_indoubt``, then
+        resolves every DLFM's remaining prepared transactions to abort
+        (presumed abort: no decision row → the host never committed).
+        """
+        from repro.host.indoubt import resolve_indoubts
+        self.db.restart()
+        result = yield from resolve_indoubts(self)
+        return result

@@ -1,0 +1,26 @@
+"""Host-generated identifiers.
+
+Recovery ids (§3) are "guaranteed to be globally unique and monotonically
+increasing": dbid plus a zero-padded timestamp and sequence number, so
+plain string comparison gives temporal order — which the restore and
+garbage-collection logic rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class RecoveryIdGenerator:
+    def __init__(self, sim, dbid: str):
+        self.sim = sim
+        self.dbid = dbid
+        self._seq = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self.dbid}-{self.sim.now:018.6f}-{next(self._seq):08d}"
+
+    def watermark(self) -> str:
+        """A value greater than every id issued so far and smaller than
+        every id issued after now (used by the backup utility)."""
+        return self.next()

@@ -1,0 +1,74 @@
+"""Indoubt-transaction resolution (paper §3.3).
+
+"If DLFM fails after prepare then that transaction remains in an indoubt
+state. It is the host database's responsibility for resolving the
+indoubt transactions with the DLFM. Either host database restart
+processing does it, or, if DLFM is unavailable at restart, host database
+spawns a daemon whose sole purpose is to poll the DLFM periodically and
+resolve the indoubts when the DLFM is up."
+"""
+
+from __future__ import annotations
+
+from repro.dlfm import api
+from repro.errors import ReproError
+from repro.kernel import rpc
+from repro.kernel.sim import Timeout
+
+
+def resolve_indoubts(host):
+    """Generator: one full resolution pass. Returns a summary dict.
+
+    Presumed abort: first, re-drive phase 2 for every transaction with a
+    durable commit-decision row; then every transaction a DLFM still
+    reports as prepared has no decision row and is aborted.
+    """
+    committed = aborted = 0
+
+    # 1. Re-drive forgotten phase-2 commits.
+    session = host.db.session()
+    rows = yield from session.execute(
+        "SELECT txn_id, server FROM dlk_indoubt")
+    yield from session.commit()
+    for txn_id, server in sorted(rows.rows):
+        dlfm = host.dlfms[server]
+        chan = dlfm.connect()
+        try:
+            yield from rpc.call(host.sim, chan,
+                                api.Commit(host.dbid, txn_id))
+        finally:
+            chan.close()
+        session = host.db.session()
+        yield from session.execute(
+            "DELETE FROM dlk_indoubt WHERE txn_id = ? AND server = ?",
+            (txn_id, server))
+        yield from session.commit()
+        committed += 1
+        host.metrics.indoubt_commits += 1
+
+    # 2. Anything still prepared at a DLFM has no decision row → abort.
+    for server in sorted(host.dlfms):
+        dlfm = host.dlfms[server]
+        chan = dlfm.connect()
+        try:
+            indoubt = yield from rpc.call(host.sim, chan,
+                                          api.ListIndoubt(host.dbid))
+            for txn_id in indoubt:
+                yield from rpc.call(host.sim, chan,
+                                    api.Abort(host.dbid, txn_id))
+                aborted += 1
+                host.metrics.indoubt_aborts += 1
+        finally:
+            chan.close()
+    return {"committed": committed, "aborted": aborted}
+
+
+def indoubt_poller(host, server: str):
+    """Generator (daemon): poll an unavailable DLFM until it comes back,
+    then resolve. Spawn with ``sim.spawn(indoubt_poller(host, name))``."""
+    while True:
+        try:
+            result = yield from resolve_indoubts(host)
+            return result
+        except ReproError:
+            yield Timeout(host.config.indoubt_poll_period)

@@ -1,0 +1,68 @@
+"""The Reconcile utility (paper §3.4).
+
+After a point-in-time restore the host database's datalink values and a
+DLFM's metadata can disagree. Reconcile walks every datalink column on
+the host side, ships the authoritative (filename, recovery id) list to
+each DLFM (which loads it into a temp table and EXCEPTs it against its
+File table), and fixes both sides: missing links are re-established,
+orphaned links released, and host rows whose files no longer exist have
+their datalink value nulled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.dlfm import api
+from repro.errors import ReconcileError
+from repro.host.datalink import parse_url, shadow_column
+from repro.kernel import rpc
+
+
+def reconcile(host):
+    """Generator: run the utility; returns a per-server summary."""
+    # 1. Collect the host's authoritative references per server.
+    per_server = defaultdict(list)
+    locations = defaultdict(list)  # (server, path) → (table, col, where-rid)
+    session = host.db.session()
+    for table, columns in sorted(host.datalink_columns.items()):
+        for column, spec in sorted(columns.items()):
+            rows = yield from session.execute(
+                f"SELECT {column}, {shadow_column(column)} FROM {table}")
+            grp_id = host.group_ids[(table, column)]
+            for url, recovery_id in rows:
+                if url is None:
+                    continue
+                server, path = parse_url(url)
+                per_server[server].append(
+                    (path, recovery_id, grp_id, spec.access_control,
+                     spec.recovery_flag))
+                locations[(server, path)].append((table, column, url))
+    yield from session.commit()
+
+    # 2. Each DLFM reconciles against its authoritative slice.
+    summary = {}
+    for server in sorted(host.dlfms):
+        dlfm = host.dlfms[server]
+        chan = dlfm.connect()
+        try:
+            result = yield from rpc.call(
+                host.sim, chan, api.ReconcileFiles(
+                    host.dbid, tuple(per_server.get(server, ()))))
+        finally:
+            chan.close()
+        # 3. Dangling host references (file gone everywhere): null the
+        #    datalink value so the database stops referencing a ghost.
+        nulled = 0
+        for path in result["dangling"]:
+            for table, column, url in locations.get((server, path), ()):
+                session = host.db.session()
+                yield from session.execute(
+                    f"UPDATE {table} SET {column} = NULL, "
+                    f"{shadow_column(column)} = NULL WHERE {column} = ?",
+                    (url,))
+                yield from session.commit()
+                nulled += 1
+        result["nulled"] = nulled
+        summary[server] = result
+    return summary

@@ -1,0 +1,404 @@
+"""Application sessions on the host database, with the datalink engine.
+
+``HostSession.execute`` accepts ordinary SQL. For tables with DATALINK
+columns the datalink engine intercepts DML exactly as in the paper (§2):
+
+* INSERT — each non-NULL datalink value triggers a LinkFile to the DLFM
+  named in the URL, in the same transaction;
+* DELETE — the engine pre-reads the affected rows' datalink values (FOR
+  UPDATE) and sends UnlinkFile for each;
+* UPDATE of a datalink column — UnlinkFile(old) + LinkFile(new), the
+  same-transaction unlink/relink the paper calls an important customer
+  requirement.
+
+Statement failures are compensated with in_backout requests plus a host
+savepoint rollback; severe errors (deadlock at either side) roll back the
+full transaction. COMMIT runs the 2PC coordinator: Prepare to every
+participant, durable decision row, then phase-2 Commit — synchronously by
+default (lesson §4), asynchronously only for experiment E6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Optional
+
+from repro.dlfm import api
+from repro.errors import (DataLinkError, ReproError, TransactionAborted)
+from repro.host.datalink import parse_url, shadow_column
+from repro.host.render import count_params, render_expr
+from repro.kernel import rpc
+from repro.sql import ast
+from repro.sql.parser import parse as parse_sql
+
+
+class HostSession:
+    _ids = itertools.count(1)
+
+    def __init__(self, host):
+        self.host = host
+        self.sim = host.sim
+        self.session = host.db.session()
+        self.id = next(HostSession._ids)
+        self._chans: dict[str, object] = {}   # server → DLFM child channel
+        self.participants: set[str] = set()
+        self.txn_id: Optional[int] = None
+        self.pending_drops: list[str] = []
+        self._stmt_seq = itertools.count(1)
+        self._parse_cache: dict[str, ast.Statement] = {}
+
+    # ------------------------------------------------------------------ txn plumbing
+
+    def _ensure_txn(self) -> int:
+        txn = self.session._require_txn()
+        self.txn_id = txn.id
+        return txn.id
+
+    def txn_id_for(self, server: str) -> int:
+        return self._ensure_txn()
+
+    def _channel(self, server: str):
+        chan = self._chans.get(server)
+        if chan is None or chan.closed:
+            dlfm = self.host.dlfms.get(server)
+            if dlfm is None:
+                raise DataLinkError(f"unknown file server {server!r}")
+            chan = dlfm.connect()
+            self._chans[server] = chan
+        return chan
+
+    def dlfm_call(self, server: str, req):
+        """Generator: send a transactional op, opening the sub-transaction
+        on first contact (BeginTxn carries the host transaction id)."""
+        txn_id = self._ensure_txn()
+        chan = self._channel(server)
+        if server not in self.participants:
+            yield from rpc.call(self.sim, chan,
+                                api.BeginTxn(self.host.dbid, txn_id))
+            self.participants.add(server)
+        result = yield from rpc.call(self.sim, chan, req)
+        return result
+
+    def _send_control(self, server: str, req):
+        """Generator: 2PC verbs — no BeginTxn, no participant tracking."""
+        chan = self._channel(server)
+        result = yield from rpc.call(self.sim, chan, req)
+        return result
+
+    # ------------------------------------------------------------------ execute
+
+    def execute(self, sql: str, params: tuple = ()):
+        """Generator: run one SQL statement with datalink interception."""
+        stmt = self._parse_cache.get(sql)
+        if stmt is None:
+            stmt = parse_sql(sql)
+            self._parse_cache[sql] = stmt
+        specs = None
+        table = getattr(stmt, "table", None)
+        if isinstance(table, str):
+            specs = self.host.datalink_columns.get(table)
+        if specs:
+            if isinstance(stmt, ast.Insert):
+                return (yield from self._insert_datalink(stmt, params, specs))
+            if isinstance(stmt, ast.Delete):
+                return (yield from self._delete_datalink(stmt, sql, params,
+                                                         specs))
+            if isinstance(stmt, ast.Update):
+                touched = [c for c, _ in stmt.assignments if c in specs]
+                if touched:
+                    return (yield from self._update_datalink(stmt, params,
+                                                             specs))
+        result = yield from self.session.execute(sql, params)
+        return result
+
+    def query_one(self, sql: str, params: tuple = ()):
+        row = yield from self.session.query_one(sql, params)
+        return row
+
+    def fetch_with_tokens(self, sql: str, params: tuple = ()):
+        """Generator: SELECT returning (ResultSet, {url: AccessToken}).
+
+        The paper's application flow (Fig. 3): the database hands the
+        application URLs plus the tokens needed to open the files.
+        """
+        result = yield from self.session.execute(sql, params)
+        tokens = {}
+        for row in result.rows:
+            for value in row:
+                if isinstance(value, str) and value.startswith("dlfs://"):
+                    tokens[value] = self.host.issue_token(value)
+        return result, tokens
+
+    # ------------------------------------------------------------------ datalink DML
+
+    @staticmethod
+    def _eval_value(expr: ast.Expr, params: tuple):
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Param):
+            return params[expr.index]
+        raise DataLinkError(
+            "datalink column values must be literals or parameters")
+
+    def _insert_datalink(self, stmt: ast.Insert, params: tuple, specs):
+        txn_id = self._ensure_txn()
+        links = []   # (LinkFile request, server)
+        extra_cols, extra_vals = [], []
+        for col, spec in specs.items():
+            if col not in stmt.columns:
+                continue
+            value = self._eval_value(
+                stmt.values[stmt.columns.index(col)], params)
+            if value is None:
+                continue
+            server, path = parse_url(value)
+            recovery_id = self.host.recovery_ids.next()
+            grp_id = self.host.group_ids[(stmt.table, col)]
+            links.append((server, api.LinkFile(
+                self.host.dbid, txn_id, path, grp_id, recovery_id,
+                access_ctl=spec.access_control,
+                recovery=spec.recovery_flag)))
+            extra_cols.append(shadow_column(col))
+            extra_vals.append(f"'{recovery_id}'")
+
+        columns = ", ".join(list(stmt.columns) + extra_cols)
+        values = ", ".join([render_expr(v) for v in stmt.values]
+                           + extra_vals)
+        new_sql = f"INSERT INTO {stmt.table} ({columns}) VALUES ({values})"
+        return (yield from self._run_with_backout(
+            new_sql, params, links, unlinks=[]))
+
+    def _delete_datalink(self, stmt: ast.Delete, sql: str, params: tuple,
+                         specs):
+        txn_id = self._ensure_txn()
+        where_text = (f" WHERE {render_expr(stmt.where)}"
+                      if stmt.where is not None else "")
+        sel_cols = []
+        for col in specs:
+            sel_cols += [col, shadow_column(col)]
+        pre = yield from self.session.execute(
+            f"SELECT {', '.join(sel_cols)} FROM {stmt.table}{where_text} "
+            "FOR UPDATE", params)
+        unlinks = []
+        for row in pre.rows:
+            for i, col in enumerate(specs):
+                url = row[2 * i]
+                if url is None:
+                    continue
+                server, path = parse_url(url)
+                unlinks.append((server, api.UnlinkFile(
+                    self.host.dbid, txn_id, path,
+                    self.host.recovery_ids.next())))
+        return (yield from self._run_with_backout(
+            sql, params, links=[], unlinks=unlinks))
+
+    def _update_datalink(self, stmt: ast.Update, params: tuple, specs):
+        txn_id = self._ensure_txn()
+        dl_assignments = {c: e for c, e in stmt.assignments if c in specs}
+        n_set_params = sum(count_params(e) for _, e in stmt.assignments)
+        where_params = params[n_set_params:]
+        where_text = (f" WHERE {render_expr(stmt.where)}"
+                      if stmt.where is not None else "")
+
+        sel_cols = []
+        for col in dl_assignments:
+            sel_cols += [col, shadow_column(col)]
+        pre = yield from self.session.execute(
+            f"SELECT {', '.join(sel_cols)} FROM {stmt.table}{where_text} "
+            "FOR UPDATE", where_params)
+
+        unlinks, links = [], []
+        sets = [f"{c} = {render_expr(e)}" for c, e in stmt.assignments]
+        for col, expr in dl_assignments.items():
+            new_url = self._eval_value(expr, params)
+            new_recid = None
+            if new_url is not None:
+                server, path = parse_url(new_url)
+                new_recid = self.host.recovery_ids.next()
+                grp_id = self.host.group_ids[(stmt.table, col)]
+                # one link per qualifying row — linking the same file for
+                # several rows fails, as it must (a file has one link)
+                for _ in pre.rows:
+                    links.append((server, api.LinkFile(
+                        self.host.dbid, txn_id, path, grp_id, new_recid,
+                        access_ctl=specs[col].access_control,
+                        recovery=specs[col].recovery_flag)))
+            sets.append(f"{shadow_column(col)} = "
+                        + (f"'{new_recid}'" if new_recid else "NULL"))
+        for row in pre.rows:
+            for i, col in enumerate(dl_assignments):
+                old_url = row[2 * i]
+                if old_url is None:
+                    continue
+                server, path = parse_url(old_url)
+                unlinks.append((server, api.UnlinkFile(
+                    self.host.dbid, txn_id, path,
+                    self.host.recovery_ids.next())))
+
+        new_sql = (f"UPDATE {stmt.table} SET {', '.join(sets)}{where_text}")
+        return (yield from self._run_with_backout(
+            new_sql, params, links, unlinks))
+
+    def _run_with_backout(self, sql: str, params: tuple, links, unlinks):
+        """Execute the host statement + its datalink ops atomically at
+        statement level: on failure, compensate completed DLFM ops with
+        in_backout requests and roll the host statement back (§3.2)."""
+        savepoint = f"dlstmt-{next(self._stmt_seq)}"
+        self.session.savepoint(savepoint)
+        done = []
+        try:
+            count = yield from self.session.execute(sql, params)
+            # Unlink before link: the same-file unlink+relink case needs
+            # the linked slot freed first.
+            for server, req in unlinks:
+                yield from self.dlfm_call(server, req)
+                self.host.metrics.unlinks_sent += 1
+                done.append((server, req))
+            for server, req in links:
+                yield from self.dlfm_call(server, req)
+                self.host.metrics.links_sent += 1
+                done.append((server, req))
+            return count
+        except TransactionAborted:
+            # Severe failure (deadlock/timeout at host or DLFM): the whole
+            # transaction dies on both sides (§3.2).
+            yield from self._abort_everything()
+            raise
+        except ReproError:
+            yield from self._statement_backout(savepoint, done)
+            raise
+
+    def _statement_backout(self, savepoint: str, done):
+        self.host.metrics.statement_backouts += 1
+        try:
+            for server, req in reversed(done):
+                yield from self.dlfm_call(server,
+                                          replace(req, in_backout=True))
+            self.session.rollback_to_savepoint(savepoint)
+        except ReproError:
+            # "It is not possible to rollback a rollback": any error while
+            # backing out forces a full transaction rollback (§3.2).
+            yield from self._abort_everything()
+            raise
+
+    def _abort_everything(self):
+        txn_id = self.txn_id
+        for server in sorted(self.participants):
+            try:
+                yield from self._send_control(
+                    server, api.Abort(self.host.dbid, txn_id))
+            except ReproError:
+                pass  # participant down; presumed abort resolves it later
+        yield from self.session.rollback()
+        self._reset()
+        self.host.metrics.rollbacks += 1
+
+    def _reset(self) -> None:
+        self.participants = set()
+        self.txn_id = None
+        self.pending_drops = []
+
+    # ------------------------------------------------------------------ DDL with datalinks
+
+    def drop_table(self, name: str):
+        """Generator: transactional DROP of a datalink table — groups are
+        marked deleted now; files unlink asynchronously after commit."""
+        specs = self.host.datalink_columns.get(name)
+        if not specs:
+            self.host.db.ddl(parse_sql(f"DROP TABLE {name}"))
+            return
+        txn_id = self._ensure_txn()
+        for col in specs:
+            grp_id = self.host.group_ids[(name, col)]
+            for server in sorted(self.host.dlfms):
+                yield from self.dlfm_call(server, api.DeleteGroup(
+                    self.host.dbid, txn_id, grp_id))
+        self.pending_drops.append(name)
+
+    # ------------------------------------------------------------------ commit / rollback
+
+    def commit(self):
+        """Generator: application COMMIT — the 2PC coordinator."""
+        if self.session.txn is None and not self.participants:
+            return
+        txn_id = self.txn_id
+        if not self.participants:
+            yield from self.session.commit()
+            for name in self.pending_drops:
+                self.host.apply_drop(name)
+            self._reset()
+            self.host.metrics.commits += 1
+            return
+
+        # ---- phase 1: prepare every participant -------------------------
+        for server in sorted(self.participants):
+            try:
+                yield from self._send_control(
+                    server, api.Prepare(self.host.dbid, txn_id))
+            except ReproError as error:
+                # One no-vote aborts everyone, including those already
+                # prepared (§3.3).
+                self.host.metrics.prepare_failures += 1
+                yield from self._abort_everything()
+                raise TransactionAborted(
+                    f"participant {server} failed to prepare: {error}",
+                    reason="prepare") from error
+
+        # ---- decision: durable with the local commit --------------------
+        participants = sorted(self.participants)
+        for server in participants:
+            yield from self.session.execute(
+                "INSERT INTO dlk_indoubt (txn_id, server) VALUES (?, ?)",
+                (txn_id, server))
+        yield from self.session.commit()
+        for name in self.pending_drops:
+            self.host.apply_drop(name)
+        self.host.metrics.commits += 1
+
+        # ---- phase 2 -----------------------------------------------------
+        if self.host.config.sync_commit:
+            yield from self._phase2_commit(txn_id, participants)
+        else:
+            # E6 mode: the Commit verbs are still SENT in order on each
+            # connection (the child agent starts processing them), but
+            # the application regains control without waiting for the
+            # replies — so its next transaction's sends queue behind the
+            # still-running commit processing.
+            replies = []
+            for server in participants:
+                chan = self._channel(server)
+                reply = yield from rpc.cast(
+                    self.sim, chan, api.Commit(self.host.dbid, txn_id))
+                replies.append(reply)
+            self.sim.spawn(self._phase2_finish(txn_id, replies),
+                           f"async-phase2-{txn_id}")
+        self._reset()
+
+    def _phase2_commit(self, txn_id: int, servers: list[str]):
+        for server in servers:
+            yield from self._send_control(
+                server, api.Commit(self.host.dbid, txn_id))
+        yield from self._forget_decision(txn_id)
+
+    def _phase2_finish(self, txn_id: int, replies: list):
+        for reply in replies:
+            yield from rpc.wait_reply(reply)
+        yield from self._forget_decision(txn_id)
+
+    def _forget_decision(self, txn_id: int):
+        session = self.host.db.session()
+        yield from session.execute(
+            "DELETE FROM dlk_indoubt WHERE txn_id = ?", (txn_id,))
+        yield from session.commit()
+
+    def rollback(self):
+        """Generator: application ROLLBACK."""
+        if self.session.txn is None and not self.participants:
+            return
+        yield from self._abort_everything()
+
+    def close(self) -> None:
+        for chan in self._chans.values():
+            chan.close()
+        self._chans = {}

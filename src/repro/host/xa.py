@@ -1,0 +1,181 @@
+"""XA (global/distributed) transactions at the host database (§3.3).
+
+"In the case of an XA transaction, the host database also generates a
+local transaction id that is different from the global XA transaction
+id. ... [the local] id is passed to the DLFM in each of the API
+invocation."
+
+Here the host is itself a *participant* of an external transaction
+manager while remaining the *coordinator* of its DLFMs:
+
+* :func:`xa_prepare` — durably registers the gtrid → (local txn id,
+  participant servers) mapping, prepares every DLFM sub-transaction, and
+  prepares the host's own local transaction (PREPARE log record, locks
+  kept). From then on the outcome belongs to the TM.
+* :func:`xa_commit` / :func:`xa_rollback` — the TM's verdict. Commit
+  makes the local commit record the durable decision, then drives
+  phase 2 at the DLFMs; a crash in between is repaired by
+  :func:`xa_recover` + :func:`xa_finish_pending`.
+
+Note what the DLFMs see: only the LOCAL transaction id — monotonically
+increasing per host database — never the gtrid. That is the paper's
+design point.
+"""
+
+from __future__ import annotations
+
+from repro.dlfm import api
+from repro.errors import DataLinkError, ReproError, TransactionAborted
+from repro.kernel import rpc
+from repro.minidb.txn import TxnState
+
+
+def _bootstrap(host) -> None:
+    if "xa_pending" not in host.db.catalog.tables:
+        from repro.sql.parser import parse as parse_sql
+        host.db.ddl(parse_sql(
+            "CREATE TABLE xa_pending (gtrid TEXT, txn_id INT, server TEXT)"))
+        host.db.ddl(parse_sql(
+            "CREATE INDEX xa_pending_g ON xa_pending (gtrid)"))
+        host.db.set_table_stats("xa_pending", card=100_000,
+                                colcard={"gtrid": 100_000})
+
+
+def xa_prepare(session, gtrid: str):
+    """Generator: phase 1 of the global transaction for this host branch.
+
+    Returns the LOCAL transaction id (distinct from ``gtrid``).
+    """
+    host = session.host
+    _bootstrap(host)
+    if session.session.txn is None and not session.participants:
+        raise DataLinkError(f"nothing to prepare for gtrid {gtrid!r}")
+    txn_id = session._ensure_txn()
+
+    # 1. Durable registration BEFORE voting yes anywhere.
+    reg = host.db.session()
+    yield from reg.execute(
+        "INSERT INTO xa_pending (gtrid, txn_id, server) VALUES (?, ?, ?)",
+        (gtrid, txn_id, "*"))
+    for server in sorted(session.participants):
+        yield from reg.execute(
+            "INSERT INTO xa_pending (gtrid, txn_id, server) "
+            "VALUES (?, ?, ?)", (gtrid, txn_id, server))
+    yield from reg.commit()
+
+    # 2. Prepare the DLFM sub-transactions (they see the local txn id).
+    try:
+        for server in sorted(session.participants):
+            yield from session._send_control(
+                server, api.Prepare(host.dbid, txn_id))
+    except ReproError as error:
+        yield from xa_rollback(host, gtrid, session=session)
+        raise TransactionAborted(
+            f"gtrid {gtrid!r}: participant failed prepare: {error}",
+            reason="prepare") from error
+
+    # 3. Prepare the host's own local transaction.
+    local_txn = session.session.txn
+    yield from host.db.prepare(local_txn)
+    session.session.txn = None  # the session must not touch it any more
+    return txn_id
+
+
+def _pending_rows(host, gtrid: str):
+    reader = host.db.session()
+    rows = yield from reader.execute(
+        "SELECT txn_id, server FROM xa_pending WHERE gtrid = ?", (gtrid,))
+    yield from reader.commit()
+    if not rows.rows:
+        raise DataLinkError(f"unknown gtrid {gtrid!r}")
+    txn_id = rows.rows[0][0]
+    servers = sorted(s for _, s in rows.rows if s != "*")
+    return txn_id, servers
+
+
+def xa_commit(host, gtrid: str):
+    """Generator: the TM decided commit for this branch."""
+    txn_id, servers = yield from _pending_rows(host, gtrid)
+    txn = host.db.find_prepared(txn_id)
+    # The local COMMIT record (forced) is the branch's durable decision.
+    yield from host.db.commit(txn)
+    yield from _drive_phase2(host, gtrid, txn_id, servers)
+    return txn_id
+
+
+def xa_rollback(host, gtrid: str, session=None):
+    """Generator: the TM decided rollback for this branch."""
+    txn_id, servers = yield from _pending_rows(host, gtrid)
+    for server in servers:
+        chan = host.dlfms[server].connect()
+        try:
+            yield from rpc.call(host.sim, chan,
+                                api.Abort(host.dbid, txn_id))
+        except ReproError:
+            pass  # presumed abort will mop up when it comes back
+        finally:
+            chan.close()
+    try:
+        txn = host.db.find_prepared(txn_id)
+    except ReproError:
+        txn = None  # never reached local prepare (prepare-phase failure)
+    if txn is not None:
+        yield from host.db.rollback(txn)
+    elif session is not None:
+        yield from session.session.rollback()
+    yield from _forget(host, gtrid)
+    return txn_id
+
+
+def _drive_phase2(host, gtrid: str, txn_id: int, servers):
+    for server in servers:
+        chan = host.dlfms[server].connect()
+        try:
+            yield from rpc.call(host.sim, chan,
+                                api.Commit(host.dbid, txn_id))
+        finally:
+            chan.close()
+    yield from _forget(host, gtrid)
+
+
+def _forget(host, gtrid: str):
+    cleaner = host.db.session()
+    yield from cleaner.execute("DELETE FROM xa_pending WHERE gtrid = ?",
+                               (gtrid,))
+    yield from cleaner.commit()
+
+
+def xa_recover(host):
+    """Generator: after a host restart — classify surviving branches.
+
+    Returns {gtrid: "indoubt" | "commit-pending"}:
+
+    * ``indoubt`` — the local transaction is still prepared; the TM must
+      call :func:`xa_commit` or :func:`xa_rollback`.
+    * ``commit-pending`` — the local commit happened but phase 2 never
+      finished; :func:`xa_finish_pending` re-drives it.
+    """
+    if "xa_pending" not in host.db.catalog.tables:
+        return {}
+    reader = host.db.session()
+    rows = yield from reader.execute(
+        "SELECT gtrid, txn_id FROM xa_pending WHERE server = ?", ("*",))
+    yield from reader.commit()
+    prepared_ids = {t.id for t in host.db.indoubt_transactions()}
+    return {gtrid: ("indoubt" if txn_id in prepared_ids
+                    else "commit-pending")
+            for gtrid, txn_id in rows.rows}
+
+
+def xa_finish_pending(host):
+    """Generator: re-drive phase 2 for every committed-but-unfinished
+    branch (idempotent at the DLFMs)."""
+    status = yield from xa_recover(host)
+    finished = []
+    for gtrid, state in sorted(status.items()):
+        if state != "commit-pending":
+            continue
+        txn_id, servers = yield from _pending_rows(host, gtrid)
+        yield from _drive_phase2(host, gtrid, txn_id, servers)
+        finished.append(gtrid)
+    return finished

@@ -1,0 +1,137 @@
+"""Blocking message channels.
+
+The default channel is a **rendezvous** (capacity 0): a sender suspends
+until a receiver takes the message. This mirrors the paper's RPC transport,
+where a host DB2 agent's message send blocks while the DLFM child agent is
+still busy — the precondition of the distributed-deadlock scenario in the
+"commit must be synchronous" lesson (experiment E6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.errors import ChannelClosed, ChannelTimeout
+from repro.kernel.sim import TIMEOUT, Event, Simulator
+
+
+class Channel:
+    """FIFO channel with bounded buffering (``capacity=0`` → rendezvous)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 0, name: str = "chan"):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.closed = False
+        self._buffer: deque[Any] = deque()
+        self._senders: deque[tuple[Any, Event]] = deque()
+        self._receivers: deque[Event] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (f"<Channel {self.name} buf={len(self._buffer)} "
+                f"senders={len(self._senders)} receivers={len(self._receivers)}>")
+
+    def close(self) -> None:
+        """Close the channel; blocked and future peers get ChannelClosed."""
+        if self.closed:
+            return
+        self.closed = True
+        for _, event in self._senders:
+            event.trigger(ChannelClosed(self.name))
+        self._senders.clear()
+        for event in self._receivers:
+            event.trigger(ChannelClosed(self.name))
+        self._receivers.clear()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Any, timeout: Optional[float] = None) -> Generator:
+        """Generator: deliver ``message``, blocking until a peer/slot exists."""
+        if self.closed:
+            raise ChannelClosed(self.name)
+        receiver = self._pop_live_receiver()
+        if receiver is not None:
+            receiver.trigger(message)
+            return
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(message)
+            return
+        handoff = Event(self.sim, name=f"{self.name}.send")
+        self._senders.append((message, handoff))
+        outcome = yield handoff.wait(timeout)
+        if outcome is TIMEOUT:
+            self._drop_sender(handoff)
+            raise ChannelTimeout(f"send on {self.name} timed out")
+        if isinstance(outcome, ChannelClosed):
+            raise outcome
+
+    def _pop_live_receiver(self):
+        """Next receiver event that still has a live waiting process.
+
+        A process killed while blocked in recv (crash injection) leaves
+        an event with no waiters; delivering to it would lose the message.
+        """
+        while self._receivers:
+            event = self._receivers.popleft()
+            if event._waiters:
+                return event
+        return None
+
+    def _drop_sender(self, event: Event) -> None:
+        for pending in list(self._senders):
+            if pending[1] is event:
+                self._senders.remove(pending)
+                return
+
+    # -- receiving --------------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Generator:
+        """Generator: return the next message, blocking until one arrives."""
+        if self._buffer:
+            message = self._buffer.popleft()
+            self._refill_from_senders()
+            return message
+        if self._senders:
+            message, handoff = self._senders.popleft()
+            handoff.trigger(None)
+            return message
+        if self.closed:
+            raise ChannelClosed(self.name)
+        arrival = Event(self.sim, name=f"{self.name}.recv")
+        self._receivers.append(arrival)
+        outcome = yield arrival.wait(timeout)
+        if outcome is TIMEOUT:
+            try:
+                self._receivers.remove(arrival)
+            except ValueError:
+                pass
+            raise ChannelTimeout(f"recv on {self.name} timed out")
+        if isinstance(outcome, ChannelClosed):
+            raise outcome
+        return outcome
+
+    def _refill_from_senders(self) -> None:
+        while self._senders and len(self._buffer) < self.capacity:
+            message, handoff = self._senders.popleft()
+            self._buffer.append(message)
+            handoff.trigger(None)
+
+    # -- non-blocking inspection ---------------------------------------------------
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, msg)`` or ``(False, None)``."""
+        if self._buffer:
+            message = self._buffer.popleft()
+            self._refill_from_senders()
+            return True, message
+        if self._senders:
+            message, handoff = self._senders.popleft()
+            handoff.trigger(None)
+            return True, message
+        return False, None
+
+    @property
+    def pending(self) -> int:
+        """Messages immediately receivable without blocking."""
+        return len(self._buffer) + len(self._senders)

@@ -1,0 +1,75 @@
+"""Request/reply messaging over channels.
+
+``call`` is the synchronous RPC the DataLinks components use: send the
+request (blocking until the peer's agent is ready to receive — faithful
+to the paper, where a host agent's message send blocks while the DLFM
+child agent is still busy) and wait for the reply. ``cast`` sends
+without waiting for completion and returns the reply event — the
+*asynchronous commit* mode whose distributed deadlock is experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import SimError
+from repro.kernel.channel import Channel
+from repro.kernel.sim import TIMEOUT, Event, Simulator
+
+
+@dataclass
+class Envelope:
+    payload: Any
+    reply: Event
+
+
+def call(sim: Simulator, chan: Channel, payload: Any,
+         timeout: Optional[float] = None):
+    """Generator: synchronous RPC; re-raises the remote exception."""
+    reply = yield from cast(sim, chan, payload)
+    return (yield from wait_reply(reply, timeout))
+
+
+def cast(sim: Simulator, chan: Channel, payload: Any):
+    """Generator: send the request; return the reply event immediately.
+
+    The *send itself* still blocks until the peer agent issues a receive
+    (rendezvous), which is exactly the hazard of asynchronous commit.
+    """
+    reply = Event(sim, latch=True, name="rpc-reply")
+    yield from chan.send(Envelope(payload, reply))
+    return reply
+
+
+def wait_reply(reply: Event, timeout: Optional[float] = None):
+    """Generator: await a reply event from ``cast``."""
+    outcome = yield reply.wait(timeout)
+    if outcome is TIMEOUT:
+        raise SimError("rpc reply timed out")
+    kind, value = outcome
+    if kind == "err":
+        raise value
+    return value
+
+
+def serve_loop(chan: Channel, dispatch):
+    """Generator: agent main loop — receive, dispatch, reply, repeat.
+
+    ``dispatch`` is a generator callable(payload) → result. The loop ends
+    when the channel closes. While a request is being processed the agent
+    is NOT receiving, so further senders block (rendezvous) — the paper's
+    message-send blocking behaviour.
+    """
+    from repro.errors import ChannelClosed, ReproError
+    while True:
+        try:
+            envelope = yield from chan.recv()
+        except ChannelClosed:
+            return
+        try:
+            result = yield from dispatch(envelope.payload)
+        except ReproError as error:
+            envelope.reply.trigger(("err", error))
+        else:
+            envelope.reply.trigger(("ok", result))

@@ -1,0 +1,24 @@
+"""minidb — the embedded relational engine used as a *black box* store.
+
+This package plays the role DB2 plays in the paper: DLFM (and the host
+database) talk to it only through SQL sessions; it supplies persistence,
+logging/recovery, locking, and a cost-based optimizer. Every mechanism the
+paper's lessons hinge on is real here:
+
+* strict two-phase locking with intent modes (IS/IX/S/SIX/X),
+* **next-key locking** on B+tree indexes (switchable — lesson §3.2.1/§4),
+* **lock escalation** driven by locklist/maxlocks (lesson §4),
+* interval-based deadlock detection plus **lock timeouts** (lesson §4),
+* a bounded write-ahead log that raises ``LogFullError`` (lesson §4),
+* a cost-based optimizer that trusts catalog statistics and knows nothing
+  about locking, plus RUNSTATS and manual statistic overrides (lesson §4),
+* static plan binding with explicit rebinding,
+* crash / restart with ARIES-style redo-undo recovery.
+"""
+
+from repro.minidb.config import DBConfig, TimingModel
+from repro.minidb.db import Database
+from repro.minidb.session import Session
+from repro.minidb.locks import LockMode
+
+__all__ = ["DBConfig", "Database", "LockMode", "Session", "TimingModel"]

@@ -1,0 +1,104 @@
+"""Tunable knobs for the minidb engine.
+
+These map one-for-one onto the DB2 configuration parameters the paper
+tunes: LOCKTIMEOUT, DLCHKTIME, LOCKLIST/MAXLOCKS (escalation), the
+next-key-locking registry switch, and log capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class TimingModel:
+    """Virtual service times charged to operations (seconds).
+
+    With ``enabled=False`` (the default for unit tests) no time is charged
+    and simulations complete at t≈0 except for explicit waits. Benchmarks
+    use :meth:`calibrated`, whose values are chosen so the tuned E1
+    configuration lands near the paper's reported 300 links/min with 100
+    clients (see EXPERIMENTS.md, "Calibration").
+    """
+
+    enabled: bool = False
+    cpu_per_statement: float = 0.0005
+    page_io: float = 0.004
+    log_force: float = 0.006
+    lock_op: float = 0.00002
+    rpc: float = 0.002
+
+    @classmethod
+    def zero(cls) -> "TimingModel":
+        return cls(enabled=False)
+
+    @classmethod
+    def calibrated(cls) -> "TimingModel":
+        return cls(enabled=True)
+
+    def statement_cost(self) -> float:
+        return self.cpu_per_statement if self.enabled else 0.0
+
+    def io_cost(self, pages: int = 1) -> float:
+        return self.page_io * pages if self.enabled else 0.0
+
+    def log_force_cost(self) -> float:
+        return self.log_force if self.enabled else 0.0
+
+    def rpc_cost(self) -> float:
+        return self.rpc if self.enabled else 0.0
+
+
+@dataclass
+class DBConfig:
+    """Engine configuration; defaults approximate an untuned DB2 instance."""
+
+    #: Seconds a lock request may wait before LockTimeoutError (LOCKTIMEOUT).
+    lock_timeout: float = 60.0
+    #: Period of the wait-for-graph deadlock detector (DLCHKTIME).
+    deadlock_check_interval: float = 1.0
+    #: ARIES/KVL next-key locking on index access under RR (the paper turns
+    #: this OFF for DLFM's local database).
+    next_key_locking: bool = True
+    #: Default isolation level for new sessions: "RR" (repeatable read,
+    #: with phantom protection when next-key locking is on), "RS" (read
+    #: stability: read locks held to commit, no phantom protection — what
+    #: DLFM effectively got by disabling next-key locking), or "CS"
+    #: (cursor stability).
+    isolation: str = "RR"
+    #: Total lock entries available across all transactions (LOCKLIST).
+    locklist_size: int = 100_000
+    #: Fraction of the locklist one transaction may fill before its row
+    #: locks on a table escalate to a table lock (MAXLOCKS).
+    maxlocks_fraction: float = 0.22
+    #: Master switch for escalation (real DB2 cannot disable it; we can,
+    #: for the E5 ablation's control arm).
+    lock_escalation: bool = True
+    #: Use U (update) locks on update/delete scans instead of S→X
+    #: conversion — DB2's remedy for conversion deadlocks. Off by default
+    #: so the conversion-deadlock behaviour stays observable.
+    update_locks: bool = False
+    #: Active-log capacity in log records before LogFullError (LOGPRIMARY).
+    wal_capacity: int = 200_000
+    #: Buffer-pool capacity in pages.
+    buffer_pool_pages: int = 2_000
+    #: Heap rows per page (drives optimizer page counts and I/O volume).
+    rows_per_page: int = 32
+    #: B+tree fanout.
+    btree_order: int = 64
+    #: Virtual service times.
+    timing: TimingModel = field(default_factory=TimingModel.zero)
+
+    def with_changes(self, **kwargs) -> "DBConfig":
+        """Functional update helper used by experiment configuration."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.lock_timeout <= 0:
+            raise ValueError("lock_timeout must be positive")
+        if not 0 < self.maxlocks_fraction <= 1:
+            raise ValueError("maxlocks_fraction must be in (0, 1]")
+        if self.isolation not in ("RR", "RS", "CS"):
+            raise ValueError(f"unknown isolation level {self.isolation!r}")
+        if self.rows_per_page < 1 or self.btree_order < 4:
+            raise ValueError("degenerate storage geometry")

@@ -1,0 +1,405 @@
+"""The Database facade: what DLFM and the host engine see as "DB2".
+
+Owns every engine component and exposes:
+
+* :meth:`session` — SQL sessions (the only interface DLFM uses);
+* transaction control (begin/commit/rollback/savepoints) as kernel
+  generators, since commit forces the log and rollback may take locks;
+* plan binding with statistics-version invalidation (E4);
+* RUNSTATS and hand-crafted statistics;
+* :meth:`crash` / :meth:`restart` with ARIES-style recovery (E10);
+* :meth:`checkpoint` — flush dirty pages and truncate the active log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (CatalogError, CrashedError, DatabaseError,
+                          TransactionAborted)
+from repro.kernel.sim import Simulator, Timeout
+from repro.minidb import wal as walmod
+from repro.minidb.btree import BTree
+from repro.minidb.catalog import Catalog, ColumnDef
+from repro.minidb.config import DBConfig
+from repro.minidb.locks import LockManager
+from repro.minidb.storage import BufferPool, Disk, Heap
+from repro.minidb.txn import Transaction, TransactionTable, TxnState
+from repro.minidb.wal import LogManager
+from repro.sql import ast
+from repro.sql.executor import Executor, ResultSet
+from repro.sql.optimizer import plan_statement
+from repro.sql.parser import parse
+
+
+@dataclass
+class DBMetrics:
+    statements: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+    aborts_by_reason: dict = field(default_factory=dict)
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    table_scans: int = 0
+    index_scans: int = 0
+    plan_binds: int = 0
+    plan_invalidations: int = 0
+    recoveries: int = 0
+
+    def note_abort(self, reason: str) -> None:
+        self.rollbacks += 1
+        self.aborts_by_reason[reason] = (
+            self.aborts_by_reason.get(reason, 0) + 1)
+
+
+class Database:
+    def __init__(self, sim: Simulator, name: str = "db",
+                 config: Optional[DBConfig] = None):
+        self.sim = sim
+        self.name = name
+        self.config = config or DBConfig()
+        self.config.validate()
+        self.disk = Disk()
+        self.catalog = Catalog()
+        self.metrics = DBMetrics()
+        self.crashed = False
+        self._build_volatile()
+
+    def _build_volatile(self) -> None:
+        """(Re)create everything lost in a crash."""
+        self.pool = BufferPool(self.disk, self.config.buffer_pool_pages,
+                               self.config.rows_per_page)
+        self.wal = getattr(self, "wal", None) or LogManager(
+            self.config.wal_capacity)
+        self.locks = LockManager(self.sim, self.config, self.name)
+        previous = getattr(self, "txns", None)
+        self.txns = TransactionTable(
+            start=(previous.highest_id + 1) if previous else 1)
+        self.heaps: dict[str, Heap] = {}
+        self.btrees: dict[str, BTree] = {}
+        self.executor = Executor(self)
+        self._plan_cache: dict[str, tuple] = {}
+        for table in self.catalog.tables.values():
+            self.heaps[table.name] = Heap(table.name, self.pool)
+        for index in self.catalog.indexes.values():
+            self.btrees[index.name] = BTree(
+                index.name, index.table, index.columns, index.unique,
+                self.config.btree_order)
+
+    # ------------------------------------------------------------------ sessions
+
+    def session(self, isolation: Optional[str] = None) -> "Session":
+        from repro.minidb.session import Session
+        return Session(self, isolation or self.config.isolation)
+
+    # ------------------------------------------------------------------ txn control
+
+    def begin(self, isolation: Optional[str] = None) -> Transaction:
+        self._ensure_up()
+        return self.txns.begin(isolation or self.config.isolation,
+                               self.sim.now)
+
+    def commit(self, txn: Transaction):
+        """Generator: commit — force the log, release locks."""
+        self._ensure_up()
+        if txn.rollback_only:
+            yield from self.rollback(txn)
+            raise TransactionAborted(
+                f"txn {txn.id} was rollback-only at commit",
+                reason=txn.abort_reason or "error")
+        if txn.last_lsn is not None:
+            self.wal.append(walmod.COMMIT, txn,
+                            active_floor=self.txns.active_floor())
+            if self.wal.force():
+                cost = self.config.timing.log_force_cost()
+                if cost > 0:
+                    yield Timeout(cost)
+        self.locks.release_all(txn)
+        self.txns.end(txn, TxnState.COMMITTED)
+        self.metrics.commits += 1
+        self._maybe_soft_checkpoint()
+
+    def prepare(self, txn: Transaction):
+        """Generator: XA phase 1 — harden the transaction, keep locks.
+
+        From here on the transaction's outcome belongs to the external
+        transaction manager: restart recovery neither redoes-away nor
+        undoes it, and its write locks are reacquired (it stays indoubt
+        until :meth:`commit` or :meth:`rollback` is called for it).
+        """
+        self._ensure_up()
+        if txn.rollback_only:
+            yield from self.rollback(txn)
+            raise TransactionAborted(
+                f"txn {txn.id} was rollback-only at prepare",
+                reason=txn.abort_reason or "error")
+        txn.ensure_active()
+        self.wal.append(walmod.PREPARE, txn,
+                        active_floor=self.txns.active_floor())
+        if self.wal.force():
+            cost = self.config.timing.log_force_cost()
+            if cost > 0:
+                yield Timeout(cost)
+        txn.state = TxnState.PREPARED
+
+    def indoubt_transactions(self) -> list[Transaction]:
+        """Prepared transactions awaiting an outcome (after restart too)."""
+        return [t for t in self.txns.active
+                if t.state is TxnState.PREPARED]
+
+    def find_prepared(self, txn_id: int) -> Transaction:
+        for txn in self.txns.active:
+            if txn.id == txn_id and txn.state is TxnState.PREPARED:
+                return txn
+        raise DatabaseError(f"no prepared transaction {txn_id}")
+
+    def rollback(self, txn: Transaction):
+        """Generator: undo everything the transaction did, release locks."""
+        self._ensure_up()
+        if txn.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            return
+        self._undo_to(txn, upto_lsn=None)
+        if txn.last_lsn is not None:
+            self.wal.append(walmod.ABORT, txn,
+                            active_floor=self.txns.active_floor())
+        self.locks.release_all(txn)
+        self.txns.end(txn, TxnState.ABORTED)
+        self.metrics.note_abort(txn.abort_reason or "user")
+        self._maybe_soft_checkpoint()
+        return
+        yield  # pragma: no cover — generator for interface symmetry
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        target = txn.savepoint_lsn(name)
+        self._undo_to(txn, upto_lsn=target)
+        txn.rollback_only = False
+        txn.abort_reason = None
+
+    # ------------------------------------------------------------------ undo
+
+    def _undo_to(self, txn: Transaction, upto_lsn: Optional[int]) -> None:
+        """Undo ``txn``'s records with LSN greater than ``upto_lsn``.
+
+        Locks are already held (strict 2PL), so undo never blocks.
+        """
+        floor = upto_lsn or 0
+        next_to_undo = txn.last_lsn
+        while next_to_undo is not None and next_to_undo > floor:
+            record = self.wal.record(next_to_undo)
+            if record.kind == walmod.CLR:
+                next_to_undo = record.undo_next
+                continue
+            if record.redoable:
+                self._apply_state(record.table, record.rid, record.before)
+                clr = self.wal.append(
+                    walmod.CLR, txn, table=record.table, rid=record.rid,
+                    before=record.after, after=record.before,
+                    undo_next=record.prev_lsn,
+                    active_floor=self.txns.active_floor())
+                self.heaps[record.table].set_page_lsn(record.rid[0], clr.lsn)
+            next_to_undo = record.prev_lsn
+
+    def _apply_state(self, table: str, rid, desired: Optional[tuple]) -> None:
+        """Force a heap slot (and index entries) to ``desired``."""
+        heap = self.heaps[table]
+        current = heap.fetch(rid)
+        tdef = self.catalog.tables.get(table)
+        if current is not None:
+            heap.delete(rid)
+            if tdef is not None:
+                self.apply_index_delete(tdef, current, rid)
+        if desired is not None:
+            heap.insert(desired, rid=rid)
+            if tdef is not None:
+                self.apply_index_insert(tdef, desired, rid)
+
+    # ------------------------------------------------------------------ WAL hook
+
+    def log_write(self, kind: str, txn: Transaction, table: str, rid,
+                  before, after):
+        record = self.wal.append(
+            getattr(walmod, kind), txn, table=table, rid=rid, before=before,
+            after=after, active_floor=self.txns.active_floor())
+        self.heaps[table].set_page_lsn(rid[0], record.lsn)
+        return record
+
+    # ------------------------------------------------------------------ index maintenance
+
+    def apply_index_insert(self, table, row: tuple, rid) -> None:
+        for index in self.catalog.indexes_by_table.get(table.name, []):
+            key = tuple(row[table.position(c)] for c in index.columns)
+            self.btrees[index.name].insert(key, rid)
+
+    def apply_index_delete(self, table, row: tuple, rid) -> None:
+        for index in self.catalog.indexes_by_table.get(table.name, []):
+            key = tuple(row[table.position(c)] for c in index.columns)
+            self.btrees[index.name].delete(key, rid)
+
+    def apply_index_update(self, table, old_row: tuple, new_row: tuple,
+                           rid) -> None:
+        for index in self.catalog.indexes_by_table.get(table.name, []):
+            old_key = tuple(old_row[table.position(c)] for c in index.columns)
+            new_key = tuple(new_row[table.position(c)] for c in index.columns)
+            if old_key != new_key:
+                btree = self.btrees[index.name]
+                btree.delete(old_key, rid)
+                btree.insert(new_key, rid)
+
+    # ------------------------------------------------------------------ DDL
+
+    def ddl(self, stmt) -> None:
+        """DDL is applied immediately and is not transactional (documented)."""
+        self._ensure_up()
+        if isinstance(stmt, ast.CreateTable):
+            columns = [ColumnDef(n, t) for n, t in stmt.columns]
+            self.catalog.create_table(stmt.table, columns)
+            self.heaps[stmt.table] = Heap(stmt.table, self.pool)
+        elif isinstance(stmt, ast.CreateIndex):
+            index = self.catalog.create_index(stmt.index, stmt.table,
+                                              stmt.columns, stmt.unique)
+            btree = BTree(index.name, index.table, index.columns,
+                          index.unique, self.config.btree_order)
+            table = self.catalog.require_table(stmt.table)
+            for rid, row in self.heaps[stmt.table].scan():
+                key = tuple(row[table.position(c)] for c in index.columns)
+                btree.insert(key, rid)
+            self.btrees[index.name] = btree
+        elif isinstance(stmt, ast.DropTable):
+            self.catalog.drop_table(stmt.table)
+            self.heaps.pop(stmt.table, None)
+            for name in [n for n, b in self.btrees.items()
+                         if b.table == stmt.table]:
+                del self.btrees[name]
+            self.pool.drop_table(stmt.table)
+        elif isinstance(stmt, ast.DropIndex):
+            index = self.catalog.require_index(stmt.index)
+            self.catalog.indexes_by_table[index.table].remove(index)
+            del self.catalog.indexes[stmt.index]
+            del self.btrees[stmt.index]
+        else:
+            raise CatalogError(f"not DDL: {stmt!r}")
+        self._invalidate_plans()
+
+    # ------------------------------------------------------------------ plans
+
+    def get_plan(self, sql: str):
+        """Bound-plan lookup; stale statistics versions force a re-bind."""
+        cached = self._plan_cache.get(sql)
+        if cached is not None:
+            plan, versions = cached
+            if all(self.catalog.stats_version(t) == v
+                   for t, v in versions.items()):
+                return plan
+            self.metrics.plan_invalidations += 1
+        stmt = parse(sql)
+        plan = plan_statement(self.catalog, stmt)
+        versions = {t: self.catalog.stats_version(t) for t in plan.tables}
+        self._plan_cache[sql] = (plan, versions)
+        self.metrics.plan_binds += 1
+        return plan
+
+    def _invalidate_plans(self) -> None:
+        self._plan_cache.clear()
+
+    def explain(self, sql: str) -> dict:
+        """Access-path summary for tests/benchmarks (not SQL EXPLAIN)."""
+        plan = self.get_plan(sql)
+        info = {"kind": plan.kind}
+        access = getattr(plan, "access", None)
+        if access is not None:
+            info["access"] = access.kind
+            info["index"] = access.index_name
+            info["cost"] = round(access.cost, 3)
+        return info
+
+    # ------------------------------------------------------------------ statistics
+
+    def runstats(self, table: str) -> None:
+        """Recompute true statistics (DB2 RUNSTATS); invalidates plans."""
+        tdef = self.catalog.require_table(table)
+        heap = self.heaps[table]
+        distinct: dict[str, set] = {c.name: set() for c in tdef.columns}
+        for _, row in heap.scan():
+            for column, value in zip(tdef.columns, row):
+                distinct[column.name].add(value)
+        self.catalog.runstats(
+            table, card=heap.nrows, npages=heap.npages,
+            colcard={c: len(vals) for c, vals in distinct.items()})
+
+    def set_table_stats(self, table: str, card: int,
+                        npages: Optional[int] = None,
+                        colcard: Optional[dict[str, int]] = None) -> None:
+        """Hand-craft statistics (the paper's catalog-poking utility)."""
+        self.catalog.set_stats(table, card, npages, colcard)
+
+    # ------------------------------------------------------------------ checkpoint / crash
+
+    def _maybe_soft_checkpoint(self) -> None:
+        """Reclaim log space once no old transaction pins it (as DB2's
+        automatic log truncation does). Without this, one log-full event
+        would poison the log forever."""
+        window = self.wal.window(self.txns.active_floor())
+        if window > self.config.wal_capacity // 2:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        self._ensure_up()
+        self.pool.flush_all()
+        record = self.wal.append(
+            walmod.CHECKPOINT, None,
+            payload={"active": [t.id for t in self.txns.active]})
+        self.wal.force()
+        self.wal.note_checkpoint(record.lsn)
+
+    def crash(self) -> None:
+        """Power failure: volatile state gone, durable state preserved."""
+        self.crashed = True
+        self.wal.crash()
+        self.pool.clear()
+        self.locks.clear()
+        self.txns.clear()
+        self.heaps.clear()
+        self.btrees.clear()
+        self._plan_cache.clear()
+
+    def restart(self) -> dict:
+        """Restart after a crash: ARIES-style recovery. Returns a summary."""
+        from repro.minidb.recovery import recover
+        self.crashed = False
+        self._build_volatile()
+        summary = recover(self)
+        self.metrics.recoveries += 1
+        return summary
+
+    def _ensure_up(self) -> None:
+        if self.crashed:
+            raise CrashedError(f"database {self.name} is down (crashed)")
+
+    # ------------------------------------------------------------------ backup images
+
+    def backup_image(self) -> dict:
+        """Full offline-style backup: checkpoint, then snapshot durables."""
+        import copy
+        self.checkpoint()
+        return {
+            "disk": copy.deepcopy(self.disk),
+            "catalog": copy.deepcopy(self.catalog),
+            "wal_flushed": self.wal.flushed_upto,
+        }
+
+    def restore_image(self, image: dict) -> None:
+        """Point-in-time restore from :meth:`backup_image`."""
+        import copy
+        self.crashed = True
+        self.disk = copy.deepcopy(image["disk"])
+        self.catalog = copy.deepcopy(image["catalog"])
+        self.wal = LogManager(self.config.wal_capacity)
+        self.restart()
+
+    # ------------------------------------------------------------------ convenience
+
+    def table_rows(self, table: str) -> list[tuple]:
+        """Unlocked debug read of a whole table (tests only)."""
+        return [row for _, row in self.heaps[table].scan()]

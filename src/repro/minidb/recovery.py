@@ -1,0 +1,148 @@
+"""Restart recovery: ARIES-style analysis / redo / undo.
+
+Runs against the durable state only: disk page images plus the forced
+prefix of the WAL. Redo is conditional on page LSNs (idempotent across
+repeated crashes); undo of loser transactions writes CLRs so a crash
+during recovery is itself recoverable. Secondary indexes are rebuilt from
+the heaps afterwards (documented substitution for index logging).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.minidb import wal as walmod
+from repro.minidb.storage import Heap
+
+
+class _RecoveryTxn:
+    """Shim giving the WAL a chain head for recovery-time CLRs."""
+
+    def __init__(self, txn_id: int, last_lsn: Optional[int]):
+        self.id = txn_id
+        self.last_lsn = last_lsn
+        self.first_lsn = last_lsn
+
+    def mark_rollback_only(self, reason: str = "error") -> None:
+        pass
+
+
+def recover(db) -> dict:
+    """Bring ``db`` to a transaction-consistent state; returns a summary."""
+    records = db.wal.records  # after crash() this is exactly the durable prefix
+
+    # ---- analysis ---------------------------------------------------------
+    last_lsn: dict[int, int] = {}
+    first_lsn: dict[int, int] = {}
+    ended: set[int] = set()
+    committed: set[int] = set()
+    prepared: set[int] = set()
+    for record in records:
+        if record.txn_id == 0:
+            continue
+        if record.kind in (walmod.COMMIT, walmod.ABORT):
+            ended.add(record.txn_id)
+            prepared.discard(record.txn_id)
+            if record.kind == walmod.COMMIT:
+                committed.add(record.txn_id)
+        elif record.kind == walmod.PREPARE:
+            prepared.add(record.txn_id)
+            last_lsn[record.txn_id] = record.lsn
+        else:
+            last_lsn[record.txn_id] = record.lsn
+            first_lsn.setdefault(record.txn_id, record.lsn)
+    # Prepared (XA indoubt) transactions are NOT losers: their outcome
+    # belongs to the transaction manager.
+    losers = {txn_id: lsn for txn_id, lsn in last_lsn.items()
+              if txn_id not in ended and txn_id not in prepared}
+
+    # ---- rebuild heap bookkeeping from durable pages ------------------------
+    for table in db.catalog.tables:
+        db.heaps[table] = Heap.recover(table, db.pool)
+
+    # ---- redo -------------------------------------------------------------------
+    redone = 0
+    for record in records:
+        if not record.redoable:
+            continue
+        heap = db.heaps.get(record.table)
+        if heap is None:
+            continue  # table was dropped
+        if heap.page_lsn(record.rid[0]) >= record.lsn:
+            continue
+        _apply_state(heap, record.rid, record.after)
+        heap.set_page_lsn(record.rid[0], record.lsn)
+        redone += 1
+
+    # ---- undo losers (single backward pass with CLR chains) ----------------------
+    undone = 0
+    shims = {txn_id: _RecoveryTxn(txn_id, lsn)
+             for txn_id, lsn in losers.items()}
+    cursors = dict(losers)  # txn id → next LSN to examine
+    while cursors:
+        txn_id = max(cursors, key=lambda t: cursors[t])
+        lsn = cursors[txn_id]
+        record = db.wal.record(lsn)
+        shim = shims[txn_id]
+        next_lsn: Optional[int]
+        if record.kind == walmod.CLR:
+            next_lsn = record.undo_next
+        elif record.redoable:
+            heap = db.heaps.get(record.table)
+            if heap is not None:
+                _apply_state(heap, record.rid, record.before)
+                clr = db.wal.append(
+                    walmod.CLR, shim, table=record.table, rid=record.rid,
+                    before=record.after, after=record.before,
+                    undo_next=record.prev_lsn)
+                heap.set_page_lsn(record.rid[0], clr.lsn)
+            undone += 1
+            next_lsn = record.prev_lsn
+        else:  # BEGIN or foreign record kind
+            next_lsn = record.prev_lsn
+        if next_lsn is None:
+            db.wal.append(walmod.ABORT, shim)
+            del cursors[txn_id]
+        else:
+            cursors[txn_id] = next_lsn
+
+    # ---- resurrect prepared (indoubt) transactions --------------------------------
+    from repro.minidb.locks import LockMode
+    from repro.minidb.txn import Transaction, TxnState
+    for txn_id in sorted(prepared):
+        txn = Transaction(txn_id, "RR", 0.0)
+        txn.state = TxnState.PREPARED
+        txn.last_lsn = last_lsn.get(txn_id)
+        txn.first_lsn = first_lsn.get(txn_id, txn.last_lsn)
+        # Reacquire X locks on every row the transaction touched so new
+        # work cannot read or overwrite its undecided changes.
+        cursor = txn.last_lsn
+        while cursor is not None:
+            record = db.wal.record(cursor)
+            if record.redoable and record.table in db.heaps:
+                db.locks.force_grant(
+                    txn, ("row", record.table, record.rid), LockMode.X)
+            cursor = record.prev_lsn
+        db.txns._active[txn_id] = txn
+
+    # ---- rebuild secondary indexes -----------------------------------------------
+    for index in db.catalog.indexes.values():
+        btree = db.btrees[index.name]
+        btree.clear()
+        table = db.catalog.require_table(index.table)
+        for rid, row in db.heaps[index.table].scan():
+            key = tuple(row[table.position(c)] for c in index.columns)
+            btree.insert(key, rid)
+
+    db.checkpoint()
+    return {"redone": redone, "undone": undone,
+            "losers": sorted(losers), "committed": sorted(committed),
+            "prepared": sorted(prepared)}
+
+
+def _apply_state(heap: Heap, rid, desired: Optional[tuple]) -> None:
+    current = heap.fetch(rid)
+    if current is not None:
+        heap.delete(rid)
+    if desired is not None:
+        heap.insert(desired, rid=rid)

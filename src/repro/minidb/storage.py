@@ -1,0 +1,305 @@
+"""Disk, buffer pool and heap files.
+
+Storage is deliberately synchronous: the only blocking points inside the
+engine are lock waits. I/O volume is *metered* here (buffer misses, page
+writes, log forces) and converted into virtual time by the session layer
+after each statement, which keeps the event count of big simulations low
+without losing the timing behaviour.
+
+Durability model: the :class:`Disk` holds immutable snapshots of pages;
+the buffer pool is a write-back cache over it (steal/no-force). A crash
+drops the buffer pool and the unforced log tail; restart redoes/undoes
+from the log (see ``recovery.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import DatabaseError
+
+#: RID: (page number, slot number) within a table's heap.
+Rid = tuple[int, int]
+
+
+class HeapPage:
+    """In-memory image of one heap page."""
+
+    __slots__ = ("page_no", "slots", "page_lsn")
+
+    def __init__(self, page_no: int, capacity: int,
+                 slots: Optional[list] = None, page_lsn: int = 0):
+        self.page_no = page_no
+        self.slots: list[Optional[tuple]] = (
+            list(slots) if slots is not None else [None] * capacity)
+        self.page_lsn = page_lsn
+
+    @property
+    def free_slots(self) -> int:
+        return sum(1 for slot in self.slots if slot is None)
+
+    def first_free(self) -> Optional[int]:
+        for i, slot in enumerate(self.slots):
+            if slot is None:
+                return i
+        return None
+
+
+class Disk:
+    """Durable page store: table → page_no → (page_lsn, row snapshot)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[int, tuple[int, tuple]]] = {}
+
+    def write_page(self, table: str, page: HeapPage) -> None:
+        self._tables.setdefault(table, {})[page.page_no] = (
+            page.page_lsn, tuple(page.slots))
+
+    def read_page(self, table: str, page_no: int,
+                  capacity: int) -> Optional[HeapPage]:
+        stored = self._tables.get(table, {}).get(page_no)
+        if stored is None:
+            return None
+        page_lsn, slots = stored
+        return HeapPage(page_no, capacity, slots=list(slots),
+                        page_lsn=page_lsn)
+
+    def page_numbers(self, table: str) -> list[int]:
+        return sorted(self._tables.get(table, {}))
+
+    def drop_table(self, table: str) -> None:
+        self._tables.pop(table, None)
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+
+@dataclass
+class BufferMetrics:
+    hits: int = 0
+    misses: int = 0
+    page_writes: int = 0
+    #: misses + writes accumulated since the last drain (for time charging)
+    unbilled_io: int = 0
+
+    def _io(self) -> None:
+        self.unbilled_io += 1
+
+    def drain_unbilled(self) -> int:
+        n, self.unbilled_io = self.unbilled_io, 0
+        return n
+
+
+class BufferPool:
+    """Write-back LRU page cache over the :class:`Disk`."""
+
+    def __init__(self, disk: Disk, capacity: int, rows_per_page: int):
+        self.disk = disk
+        self.capacity = capacity
+        self.rows_per_page = rows_per_page
+        self._frames: "OrderedDict[tuple[str, int], HeapPage]" = OrderedDict()
+        self._dirty: set[tuple[str, int]] = set()
+        self.metrics = BufferMetrics()
+
+    def fetch(self, table: str, page_no: int, create: bool = False) -> HeapPage:
+        key = (table, page_no)
+        page = self._frames.get(key)
+        if page is not None:
+            self._frames.move_to_end(key)
+            self.metrics.hits += 1
+            return page
+        page = self.disk.read_page(table, page_no, self.rows_per_page)
+        if page is None:
+            if not create:
+                raise DatabaseError(f"missing page {table}:{page_no}")
+            page = HeapPage(page_no, self.rows_per_page)
+        else:
+            self.metrics.misses += 1
+            self.metrics._io()
+        self._frames[key] = page
+        self._evict_if_needed()
+        return page
+
+    def mark_dirty(self, table: str, page_no: int) -> None:
+        self._dirty.add((table, page_no))
+
+    def _evict_if_needed(self) -> None:
+        while len(self._frames) > self.capacity:
+            key, page = self._frames.popitem(last=False)
+            if key in self._dirty:
+                self._dirty.discard(key)
+                self.disk.write_page(key[0], page)
+                self.metrics.page_writes += 1
+                self.metrics._io()
+
+    def flush_all(self) -> int:
+        """Write every dirty page to disk (checkpoint); returns pages written."""
+        written = 0
+        for key in sorted(self._dirty):
+            page = self._frames.get(key)
+            if page is not None:
+                self.disk.write_page(key[0], page)
+                self.metrics.page_writes += 1
+                self.metrics._io()
+                written += 1
+        self._dirty.clear()
+        return written
+
+    def drop_table(self, table: str) -> None:
+        for key in [k for k in self._frames if k[0] == table]:
+            del self._frames[key]
+            self._dirty.discard(key)
+        self.disk.drop_table(table)
+
+    def clear(self) -> None:
+        """Crash: lose all cached (including dirty) pages."""
+        self._frames.clear()
+        self._dirty.clear()
+
+
+class Heap:
+    """Slotted heap file for one table, accessed through the buffer pool."""
+
+    def __init__(self, table: str, pool: BufferPool):
+        self.table = table
+        self.pool = pool
+        self.rows_per_page = pool.rows_per_page
+        self._page_count = 0
+        self._free_pages: set[int] = set()
+        self._row_count = 0
+
+    # -- bootstrap --------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, table: str, pool: BufferPool) -> "Heap":
+        """Rebuild heap bookkeeping from durable pages after a restart."""
+        heap = cls(table, pool)
+        for page_no in pool.disk.page_numbers(table):
+            page = pool.fetch(table, page_no)
+            heap._page_count = max(heap._page_count, page_no + 1)
+            used = sum(1 for slot in page.slots if slot is not None)
+            heap._row_count += used
+            if used < heap.rows_per_page:
+                heap._free_pages.add(page_no)
+        return heap
+
+    # -- geometry (feeds optimizer statistics) -----------------------------------
+
+    @property
+    def npages(self) -> int:
+        return self._page_count
+
+    @property
+    def nrows(self) -> int:
+        return self._row_count
+
+    # -- operations ---------------------------------------------------------------
+
+    def candidate_rid(self) -> Rid:
+        """Where the next free-choice insert would land (no mutation).
+
+        The executor X-locks this rid *before* inserting so a reused slot
+        still X-locked by an uncommitted deleter can't expose dirty data.
+        """
+        for page_no in sorted(self._free_pages):
+            page = self._page_for(page_no)
+            slot = page.first_free()
+            if slot is not None:
+                return (page_no, slot)
+        return (self._page_count, 0)
+
+    def is_free(self, rid: Rid) -> bool:
+        if rid[0] >= self._page_count:
+            return True
+        page = self._page_for(rid[0])
+        return page.slots[rid[1]] is None
+
+    def insert(self, row: tuple, rid: Optional[Rid] = None) -> Rid:
+        """Place ``row``; a forced ``rid`` is used by redo/undo replay."""
+        if rid is not None:
+            page = self._page_for(rid[0], create=True)
+            if page.slots[rid[1]] is not None:
+                raise DatabaseError(f"redo insert into occupied slot {rid}")
+            page.slots[rid[1]] = row
+            target = rid
+        else:
+            page = self._page_with_space()
+            slot = page.first_free()
+            assert slot is not None
+            page.slots[slot] = row
+            target = (page.page_no, slot)
+        if page.free_slots == 0:
+            self._free_pages.discard(page.page_no)
+        else:
+            self._free_pages.add(page.page_no)
+        self.pool.mark_dirty(self.table, page.page_no)
+        self._row_count += 1
+        return target
+
+    def delete(self, rid: Rid) -> tuple:
+        page = self._page_for(rid[0])
+        row = page.slots[rid[1]]
+        if row is None:
+            raise DatabaseError(f"delete of empty slot {self.table}:{rid}")
+        page.slots[rid[1]] = None
+        self._free_pages.add(page.page_no)
+        self.pool.mark_dirty(self.table, page.page_no)
+        self._row_count -= 1
+        return row
+
+    def update(self, rid: Rid, new_row: tuple) -> tuple:
+        page = self._page_for(rid[0])
+        old = page.slots[rid[1]]
+        if old is None:
+            raise DatabaseError(f"update of empty slot {self.table}:{rid}")
+        page.slots[rid[1]] = new_row
+        self.pool.mark_dirty(self.table, page.page_no)
+        return old
+
+    def fetch(self, rid: Rid) -> Optional[tuple]:
+        if rid[0] >= self._page_count:
+            return None
+        page = self._page_for(rid[0])
+        return page.slots[rid[1]]
+
+    def scan(self) -> Iterator[tuple[Rid, tuple]]:
+        for page_no in range(self._page_count):
+            page = self._page_for(page_no)
+            for slot_no, row in enumerate(page.slots):
+                if row is not None:
+                    yield (page_no, slot_no), row
+
+    def set_page_lsn(self, page_no: int, lsn: int) -> None:
+        page = self._page_for(page_no, create=True)
+        page.page_lsn = max(page.page_lsn, lsn)
+
+    def page_lsn(self, page_no: int) -> int:
+        return self._page_for(page_no, create=True).page_lsn
+
+    # -- internals -------------------------------------------------------------
+
+    def _page_for(self, page_no: int, create: bool = False) -> HeapPage:
+        if page_no >= self._page_count:
+            if not create:
+                raise DatabaseError(
+                    f"page {page_no} beyond heap {self.table}")
+            for missing in range(self._page_count, page_no + 1):
+                self._free_pages.add(missing)
+            self._page_count = page_no + 1
+            return self.pool.fetch(self.table, page_no, create=True)
+        return self.pool.fetch(self.table, page_no, create=True)
+
+    def _page_with_space(self) -> HeapPage:
+        while self._free_pages:
+            page_no = min(self._free_pages)
+            page = self._page_for(page_no)
+            if page.first_free() is not None:
+                return page
+            self._free_pages.discard(page_no)
+        page_no = self._page_count
+        self._page_count += 1
+        page = self.pool.fetch(self.table, page_no, create=True)
+        self._free_pages.add(page_no)
+        return page

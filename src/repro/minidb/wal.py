@@ -1,0 +1,150 @@
+"""Write-ahead log with a bounded active window.
+
+The log is logical (row-level before/after images) because secondary
+indexes are rebuilt from the heap at restart. The *active window* spans
+from the oldest position still needed — the first LSN of the oldest
+in-flight transaction, or the last checkpoint, whichever is older — to the
+tail. When that window exceeds ``wal_capacity`` the appending transaction
+gets :class:`~repro.errors.LogFullError`, exactly the DB2 "log full"
+condition the paper's long-running utilities (load, reconcile,
+delete-group) had to dodge with periodic local commits (lesson §4, E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import LogFullError
+
+# Log record kinds.
+BEGIN = "BEGIN"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+INSERT = "INSERT"
+DELETE = "DELETE"
+UPDATE = "UPDATE"
+CLR = "CLR"
+CHECKPOINT = "CHECKPOINT"
+PREPARE = "PREPARE"  # XA: transaction hardened but outcome undecided
+
+_REDOABLE = frozenset({INSERT, DELETE, UPDATE, CLR})
+
+
+@dataclass
+class LogRecord:
+    """One WAL entry. ``undo_next`` is only set for CLRs."""
+
+    lsn: int
+    kind: str
+    txn_id: int
+    prev_lsn: Optional[int] = None
+    table: Optional[str] = None
+    rid: Optional[tuple[int, int]] = None
+    before: Optional[tuple] = None
+    after: Optional[tuple] = None
+    undo_next: Optional[int] = None
+    payload: Any = None  # checkpoint snapshots
+
+    @property
+    def redoable(self) -> bool:
+        return self.kind in _REDOABLE
+
+
+@dataclass
+class WalMetrics:
+    appends: int = 0
+    forces: int = 0
+    log_fulls: int = 0
+
+
+class LogManager:
+    """Append-only log plus durability watermark.
+
+    Records with ``lsn <= flushed_upto`` survive a crash; the tail is lost.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.records: list[LogRecord] = []
+        self.flushed_upto = 0  # highest durable LSN; LSNs start at 1
+        self.last_checkpoint_lsn = 0
+        self.metrics = WalMetrics()
+
+    @property
+    def tail_lsn(self) -> int:
+        return len(self.records)
+
+    def append(self, kind: str, txn, *, table: Optional[str] = None,
+               rid: Optional[tuple[int, int]] = None,
+               before: Optional[tuple] = None, after: Optional[tuple] = None,
+               undo_next: Optional[int] = None, payload: Any = None,
+               active_floor: Optional[int] = None) -> LogRecord:
+        """Append one record for ``txn``; enforces the active-window bound.
+
+        ``active_floor`` is the smallest first-LSN among in-flight
+        transactions (computed by the caller, who owns the transaction
+        table); ``None`` means no transaction is pinning the log.
+        """
+        floor = self.last_checkpoint_lsn
+        if active_floor is not None:
+            floor = min(floor, active_floor - 1)
+        window = self.tail_lsn - floor
+        if window >= self.capacity and kind not in (COMMIT, ABORT, CLR,
+                                                    CHECKPOINT, PREPARE):
+            # Ending records are always allowed so the pinning transaction
+            # can be rolled back / finished; CLRs are its undo work.
+            self.metrics.log_fulls += 1
+            if txn is not None:
+                txn.mark_rollback_only("logfull")
+            raise LogFullError(
+                f"active log window {window} reached capacity "
+                f"{self.capacity} (txn {txn.id if txn else 0})")
+        lsn = self.tail_lsn + 1
+        record = LogRecord(lsn=lsn, kind=kind,
+                           txn_id=txn.id if txn is not None else 0,
+                           prev_lsn=txn.last_lsn if txn is not None else None,
+                           table=table, rid=rid, before=before, after=after,
+                           undo_next=undo_next, payload=payload)
+        self.records.append(record)
+        self.metrics.appends += 1
+        if txn is not None:
+            txn.last_lsn = lsn
+            if txn.first_lsn is None:
+                txn.first_lsn = lsn
+        return record
+
+    def force(self, upto: Optional[int] = None) -> bool:
+        """Make the log durable up to ``upto`` (default: tail).
+
+        Returns True when a physical force was needed (caller charges I/O).
+        """
+        target = self.tail_lsn if upto is None else upto
+        if target <= self.flushed_upto:
+            return False
+        self.flushed_upto = target
+        self.metrics.forces += 1
+        return True
+
+    def record(self, lsn: int) -> LogRecord:
+        return self.records[lsn - 1]
+
+    def window(self, active_floor: Optional[int]) -> int:
+        """Current active-log size in records."""
+        floor = self.last_checkpoint_lsn
+        if active_floor is not None:
+            floor = min(floor, active_floor - 1)
+        return self.tail_lsn - floor
+
+    def note_checkpoint(self, lsn: int) -> None:
+        self.last_checkpoint_lsn = lsn
+
+    # -- crash/restart support -------------------------------------------------
+
+    def durable_records(self) -> list[LogRecord]:
+        """The prefix of the log that survives a crash."""
+        return self.records[: self.flushed_upto]
+
+    def crash(self) -> None:
+        """Discard the unforced tail, as a machine crash would."""
+        del self.records[self.flushed_upto:]

@@ -1,0 +1,13 @@
+"""SQL subset: lexer → parser → cost-based optimizer → locking executor.
+
+DLFM talks to its local database *only* through this layer ("DLFM treats
+the DB2 as a black box and all requests ... are via standard SQL"). The
+optimizer is deliberately faithful to the paper's complaint: it costs
+plans purely from catalog statistics and knows nothing about lock
+contention (experiment E4).
+"""
+
+from repro.sql.parser import parse
+from repro.sql.lexer import tokenize
+
+__all__ = ["parse", "tokenize"]

@@ -1,0 +1,224 @@
+"""Expression resolution and compilation to Python closures.
+
+Expressions are compiled once at plan time against a :class:`Scope`
+(binding name → TableDef). At execution the environment is a dict mapping
+binding names to the current row tuple. SQL three-valued logic is
+approximated: comparisons involving NULL evaluate to ``None`` (unknown),
+and filters treat ``None`` as not-qualifying.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional
+
+from repro.errors import SQLTypeError
+from repro.minidb.catalog import TableDef
+from repro.sql import ast
+
+#: runtime environment: binding name → row tuple
+Env = dict
+Compiled = Callable[[Env, tuple], object]
+
+_CMP = {"=": operator.eq, "<>": operator.ne, "<": operator.lt,
+        "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+
+class Scope:
+    """Name-resolution context for one statement."""
+
+    def __init__(self, bindings: dict[str, TableDef]):
+        self.bindings = bindings
+
+    def resolve(self, ref: ast.ColumnRef) -> tuple[str, int]:
+        """Return (binding, column position) or raise."""
+        if ref.qualifier is not None:
+            table = self.bindings.get(ref.qualifier)
+            if table is None:
+                raise SQLTypeError(f"unknown table qualifier {ref.qualifier!r}")
+            return ref.qualifier, table.position(ref.name)
+        matches = [(binding, table.positions[ref.name])
+                   for binding, table in self.bindings.items()
+                   if ref.name in table.positions]
+        if not matches:
+            raise SQLTypeError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            raise SQLTypeError(f"ambiguous column {ref.name!r}")
+        return matches[0]
+
+
+def _comparable(a, b) -> bool:
+    numeric = (int, float)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return True
+    return type(a) is type(b)
+
+
+def compile_expr(expr: ast.Expr, scope: Scope) -> Compiled:
+    """Compile ``expr`` to ``fn(env, params) -> value``."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda env, params: value
+
+    if isinstance(expr, ast.Param):
+        index = expr.index
+        def run_param(env, params):
+            if index >= len(params):
+                raise SQLTypeError(
+                    f"statement has parameter ?{index + 1} but only "
+                    f"{len(params)} values were supplied")
+            return params[index]
+        return run_param
+
+    if isinstance(expr, ast.ColumnRef):
+        binding, pos = scope.resolve(expr)
+        return lambda env, params: env[binding][pos]
+
+    if isinstance(expr, ast.Comparison):
+        left = compile_expr(expr.left, scope)
+        right = compile_expr(expr.right, scope)
+        op = _CMP[expr.op]
+        display = expr.op
+        def run_cmp(env, params):
+            a = left(env, params)
+            b = right(env, params)
+            if a is None or b is None:
+                return None
+            if not _comparable(a, b):
+                raise SQLTypeError(
+                    f"cannot compare {type(a).__name__} {display} "
+                    f"{type(b).__name__}")
+            return op(a, b)
+        return run_cmp
+
+    if isinstance(expr, ast.And):
+        parts = [compile_expr(item, scope) for item in expr.items]
+        def run_and(env, params):
+            unknown = False
+            for part in parts:
+                value = part(env, params)
+                if value is None:
+                    unknown = True
+                elif not value:
+                    return False
+            return None if unknown else True
+        return run_and
+
+    if isinstance(expr, ast.Or):
+        parts = [compile_expr(item, scope) for item in expr.items]
+        def run_or(env, params):
+            unknown = False
+            for part in parts:
+                value = part(env, params)
+                if value is None:
+                    unknown = True
+                elif value:
+                    return True
+            return None if unknown else False
+        return run_or
+
+    if isinstance(expr, ast.Not):
+        inner = compile_expr(expr.item, scope)
+        def run_not(env, params):
+            value = inner(env, params)
+            return None if value is None else not value
+        return run_not
+
+    if isinstance(expr, ast.IsNull):
+        inner = compile_expr(expr.item, scope)
+        if expr.negated:
+            return lambda env, params: inner(env, params) is not None
+        return lambda env, params: inner(env, params) is None
+
+    if isinstance(expr, ast.InList):
+        inner = compile_expr(expr.item, scope)
+        options = [compile_expr(o, scope) for o in expr.options]
+        def run_in(env, params):
+            value = inner(env, params)
+            if value is None:
+                return None
+            return any(option(env, params) == value for option in options)
+        return run_in
+
+    if isinstance(expr, ast.Between):
+        inner = compile_expr(expr.item, scope)
+        low = compile_expr(expr.low, scope)
+        high = compile_expr(expr.high, scope)
+        def run_between(env, params):
+            value = inner(env, params)
+            lo = low(env, params)
+            hi = high(env, params)
+            if value is None or lo is None or hi is None:
+                return None
+            return lo <= value <= hi
+        return run_between
+
+    if isinstance(expr, ast.Arithmetic):
+        left = compile_expr(expr.left, scope)
+        right = compile_expr(expr.right, scope)
+        op = operator.add if expr.op == "+" else operator.sub
+        def run_arith(env, params):
+            a = left(env, params)
+            b = right(env, params)
+            if a is None or b is None:
+                return None
+            if not (isinstance(a, (int, float))
+                    and isinstance(b, (int, float))):
+                raise SQLTypeError(
+                    f"arithmetic on {type(a).__name__}/{type(b).__name__}")
+            return op(a, b)
+        return run_arith
+
+    if isinstance(expr, ast.FuncCall):
+        raise SQLTypeError(
+            f"aggregate {expr.name} is only allowed in the select list")
+
+    raise SQLTypeError(f"cannot compile {expr!r}")
+
+
+def conjuncts(where: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten top-level ANDs (the optimizer's sargable-predicate pool)."""
+    if where is None:
+        return []
+    if isinstance(where, ast.And):
+        result = []
+        for item in where.items:
+            result.extend(conjuncts(item))
+        return result
+    return [where]
+
+
+def expr_is_constant(expr: ast.Expr) -> bool:
+    """True for literals/params — usable as index probe values at bind time."""
+    return isinstance(expr, (ast.Literal, ast.Param))
+
+
+def columns_in(expr: ast.Expr) -> list[ast.ColumnRef]:
+    found: list[ast.ColumnRef] = []
+
+    def walk(node):
+        if isinstance(node, ast.ColumnRef):
+            found.append(node)
+        elif isinstance(node, (ast.Comparison, ast.Arithmetic)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (ast.And, ast.Or)):
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Not):
+            walk(node.item)
+        elif isinstance(node, ast.IsNull):
+            walk(node.item)
+        elif isinstance(node, ast.InList):
+            walk(node.item)
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, ast.Between):
+            walk(node.item)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.FuncCall) and node.arg is not None:
+            walk(node.arg)
+
+    walk(expr)
+    return found

@@ -1,0 +1,347 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+_TYPE_MAP = {
+    "INT": "INT", "INTEGER": "INT", "BIGINT": "INT",
+    "FLOAT": "FLOAT", "REAL": "FLOAT",
+    "TEXT": "TEXT", "VARCHAR": "TEXT",
+    "BOOL": "BOOL", "BOOLEAN": "BOOL",
+}
+
+
+def parse(sql: str) -> ast.Statement:
+    return _Parser(tokenize(sql), sql).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str):
+        self.tokens = tokens
+        self.sql = sql
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def check_kw(self, *words: str) -> bool:
+        return self.cur.kind == "KEYWORD" and self.cur.value in words
+
+    def accept_kw(self, *words: str) -> bool:
+        if self.check_kw(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            self.fail(f"expected {word}")
+
+    def accept_op(self, op: str) -> bool:
+        if self.cur.kind == "OP" and self.cur.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            self.fail(f"expected {op!r}")
+
+    def expect_ident(self) -> str:
+        if self.cur.kind == "IDENT":
+            return self.advance().value
+        self.fail("expected identifier")
+
+    def fail(self, message: str) -> None:
+        raise SQLSyntaxError(
+            f"{message} at position {self.cur.pos} "
+            f"(near {self.cur.value!r}) in: {self.sql!r}")
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        stmt = self._statement()
+        if self.cur.kind != "EOF":
+            self.fail("trailing input")
+        return stmt
+
+    def _statement(self) -> ast.Statement:
+        if self.accept_kw("EXPLAIN"):
+            return ast.Explain(self._statement())
+        if self.check_kw("SELECT"):
+            return self._select(allow_except=True)
+        if self.accept_kw("INSERT"):
+            return self._insert()
+        if self.accept_kw("UPDATE"):
+            return self._update()
+        if self.accept_kw("DELETE"):
+            return self._delete()
+        if self.accept_kw("CREATE"):
+            return self._create()
+        if self.accept_kw("DROP"):
+            if self.accept_kw("INDEX"):
+                return ast.DropIndex(self.expect_ident())
+            self.expect_kw("TABLE")
+            return ast.DropTable(self.expect_ident())
+        self.fail("expected a statement")
+
+    def _select(self, allow_except: bool) -> ast.Select:
+        self.expect_kw("SELECT")
+        items: Optional[tuple[ast.SelectItem, ...]]
+        if self.accept_op("*"):
+            items = None
+        else:
+            parsed = [self._select_item()]
+            while self.accept_op(","):
+                parsed.append(self._select_item())
+            items = tuple(parsed)
+        self.expect_kw("FROM")
+        table = self._table_ref()
+        join = None
+        if self.accept_kw("INNER"):
+            self.expect_kw("JOIN")
+            join = self._join_clause()
+        elif self.accept_kw("JOIN"):
+            join = self._join_clause()
+        where = self._expr() if self.accept_kw("WHERE") else None
+        order_by: list[ast.OrderItem] = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_kw("LIMIT"):
+            if self.accept_op("?"):
+                limit = ast.Param(self.param_count)
+                self.param_count += 1
+            else:
+                token = self.advance()
+                if token.kind != "NUMBER" or not isinstance(token.value, int):
+                    self.fail("expected integer or ? LIMIT")
+                limit = ast.Literal(token.value)
+        for_update = False
+        if self.accept_kw("FOR"):
+            self.expect_kw("UPDATE")
+            for_update = True
+        except_select = None
+        if allow_except and self.accept_kw("EXCEPT"):
+            except_select = self._select(allow_except=False)
+        return ast.Select(items=items, table=table, join=join, where=where,
+                          order_by=tuple(order_by), for_update=for_update,
+                          except_select=except_select, limit=limit)
+
+    def _join_clause(self) -> ast.Join:
+        join_table = self._table_ref()
+        self.expect_kw("ON")
+        return ast.Join(join_table, self._expr())
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._primary()
+        if not isinstance(expr, ast.ColumnRef):
+            self.fail("ORDER BY supports only column references")
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.cur.kind == "IDENT":
+            alias = self.advance().value
+        elif self.accept_kw("AS"):
+            alias = self.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def _insert(self) -> ast.Insert:
+        self.expect_kw("INTO")
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.expect_ident()]
+        while self.accept_op(","):
+            columns.append(self.expect_ident())
+        self.expect_op(")")
+        self.expect_kw("VALUES")
+        self.expect_op("(")
+        values = [self._expr()]
+        while self.accept_op(","):
+            values.append(self._expr())
+        self.expect_op(")")
+        if len(columns) != len(values):
+            self.fail(f"{len(columns)} columns but {len(values)} values")
+        return ast.Insert(table, tuple(columns), tuple(values))
+
+    def _update(self) -> ast.Update:
+        table = self.expect_ident()
+        self.expect_kw("SET")
+        assignments = [self._assignment()]
+        while self.accept_op(","):
+            assignments.append(self._assignment())
+        where = self._expr() if self.accept_kw("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_ident()
+        self.expect_op("=")
+        return column, self._expr()
+
+    def _delete(self) -> ast.Delete:
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        where = self._expr() if self.accept_kw("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _create(self) -> ast.Statement:
+        unique = self.accept_kw("UNIQUE")
+        if self.accept_kw("TABLE"):
+            if unique:
+                self.fail("UNIQUE TABLE is not a thing")
+            return self._create_table()
+        self.expect_kw("INDEX")
+        name = self.expect_ident()
+        self.expect_kw("ON")
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.expect_ident()]
+        while self.accept_op(","):
+            columns.append(self.expect_ident())
+        self.expect_op(")")
+        return ast.CreateIndex(name, table, tuple(columns), unique)
+
+    def _create_table(self) -> ast.CreateTable:
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns = [self._column_def()]
+        while self.accept_op(","):
+            columns.append(self._column_def())
+        self.expect_op(")")
+        return ast.CreateTable(name, tuple(columns))
+
+    def _column_def(self) -> tuple[str, str]:
+        name = self.expect_ident()
+        if self.cur.kind != "TYPE":
+            self.fail("expected a column type")
+        return name, _TYPE_MAP[self.advance().value]
+
+    # -- expressions (precedence: OR < AND < NOT < predicate < additive) -----------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        items = [self._and_expr()]
+        while self.accept_kw("OR"):
+            items.append(self._and_expr())
+        return items[0] if len(items) == 1 else ast.Or(tuple(items))
+
+    def _and_expr(self) -> ast.Expr:
+        items = [self._not_expr()]
+        while self.accept_kw("AND"):
+            items.append(self._not_expr())
+        return items[0] if len(items) == 1 else ast.And(tuple(items))
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_kw("NOT"):
+            return ast.Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expr:
+        left = self._additive()
+        if self.cur.kind == "OP" and self.cur.value in ("=", "<>", "!=", "<",
+                                                        "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.Comparison(op, left, self._additive())
+        if self.accept_kw("IS"):
+            negated = self.accept_kw("NOT")
+            self.expect_kw("NULL")
+            return ast.IsNull(left, negated)
+        if self.accept_kw("IN"):
+            self.expect_op("(")
+            options = [self._additive()]
+            while self.accept_op(","):
+                options.append(self._additive())
+            self.expect_op(")")
+            return ast.InList(left, tuple(options))
+        if self.accept_kw("BETWEEN"):
+            low = self._additive()
+            self.expect_kw("AND")
+            return ast.Between(left, low, self._additive())
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._primary()
+        while self.cur.kind == "OP" and self.cur.value in ("+", "-"):
+            op = self.advance().value
+            left = ast.Arithmetic(op, left, self._primary())
+        return left
+
+    def _primary(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "OP" and token.value == "?":
+            self.advance()
+            param = ast.Param(self.param_count)
+            self.param_count += 1
+            return param
+        if self.check_kw("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if self.check_kw("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if self.check_kw("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if self.check_kw("COUNT", "MAX", "MIN", "SUM"):
+            name = self.advance().value
+            self.expect_op("(")
+            if name == "COUNT" and self.accept_op("*"):
+                self.expect_op(")")
+                return ast.FuncCall("COUNT", None)
+            arg = self._expr()
+            self.expect_op(")")
+            return ast.FuncCall(name, arg)
+        if token.kind == "IDENT":
+            name = self.advance().value
+            if self.accept_op("."):
+                return ast.ColumnRef(self.expect_ident(), qualifier=name)
+            return ast.ColumnRef(name)
+        if self.accept_op("("):
+            expr = self._expr()
+            self.expect_op(")")
+            return expr
+        if self.accept_op("-"):
+            inner = self._primary()
+            if isinstance(inner, ast.Literal) and isinstance(
+                    inner.value, (int, float)):
+                return ast.Literal(-inner.value)
+            return ast.Arithmetic("-", ast.Literal(0), inner)
+        self.fail("expected an expression")

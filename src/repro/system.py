@@ -1,0 +1,70 @@
+"""One-call wiring of a complete DataLinks deployment (paper Figure 1).
+
+A :class:`System` builds: the simulation kernel, one archive server, N
+file servers each with a DLFM (+ DLFF mount + daemons), and a host
+database with the datalink engine. This is the entry point used by the
+examples, the workload harness and the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.archive import ArchiveServer
+from repro.dlfm import DLFM, DLFMConfig
+from repro.fs import FileServer
+from repro.host import HostConfig, HostDB
+from repro.host.backup import backup_database, restore_database
+from repro.host.reconcile import reconcile
+from repro.kernel import Simulator
+
+
+class System:
+    def __init__(self, seed: int = 0, servers: tuple[str, ...] = ("fs1",),
+                 dlfm_config: Optional[DLFMConfig] = None,
+                 host_config: Optional[HostConfig] = None,
+                 dbid: str = "hostdb"):
+        self.sim = Simulator(seed=seed)
+        self.archive = ArchiveServer(self.sim)
+        self.servers: dict[str, FileServer] = {}
+        self.dlfms: dict[str, DLFM] = {}
+        for name in servers:
+            server = FileServer(self.sim, name)
+            config = dlfm_config or DLFMConfig.tuned()
+            dlfm = DLFM(self.sim, name, server, self.archive, config)
+            dlfm.start()
+            self.servers[name] = server
+            self.dlfms[name] = dlfm
+        self.host = HostDB(self.sim, dbid, self.dlfms, host_config)
+
+    # ------------------------------------------------------------------ running
+
+    def run(self, gen, name: str = "main", until: Optional[float] = None):
+        """Run one root process to completion and return its result."""
+        return self.sim.run_process(gen, name, until=until)
+
+    def session(self):
+        return self.host.session()
+
+    # ------------------------------------------------------------------ conveniences
+
+    def create_user_file(self, server: str, path: str, owner: str,
+                         content: str = ""):
+        """Create an ordinary user file on a file server (pre-link)."""
+        return self.servers[server].fs.create(path, owner, content)
+
+    def filtered_fs(self, server: str):
+        """The DLFF-filtered file system applications must use."""
+        return self.servers[server].filtered
+
+    def backup(self):
+        """Generator: coordinated backup; returns the backup id."""
+        return (yield from backup_database(self.host))
+
+    def restore(self, backup_id: int):
+        """Generator: coordinated point-in-time restore."""
+        return (yield from restore_database(self.host, backup_id))
+
+    def reconcile(self):
+        """Generator: run the Reconcile utility."""
+        return (yield from reconcile(self.host))

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.minidb import Database, DBConfig
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def db(sim):
+    return Database(sim, "testdb", DBConfig())
+
+
+def run(sim, gen, until=None):
+    """Run one root generator to completion and return its result."""
+    return sim.run_process(gen, until=until)
+
+
+def setup_files_table(db, rows=0):
+    """Generator: create the canonical test table with a unique name index."""
+    session = db.session()
+    yield from session.execute(
+        "CREATE TABLE files (id INT, name TEXT, size INT, state TEXT)")
+    yield from session.execute("CREATE UNIQUE INDEX files_name ON files (name)")
+    yield from session.execute("CREATE INDEX files_state ON files (state)")
+    for i in range(rows):
+        yield from session.execute(
+            "INSERT INTO files (id, name, size, state) VALUES (?, ?, ?, ?)",
+            (i, f"file-{i:05d}", i * 10, "linked" if i % 2 == 0 else "free"))
+    yield from session.commit()
+    return session

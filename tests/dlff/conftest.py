@@ -1,0 +1,3 @@
+"""Reuse the DLFM system fixtures."""
+
+from tests.dlfm.conftest import media, system  # noqa: F401

@@ -1,0 +1,38 @@
+"""Fixtures: a full System plus helpers for driving it."""
+
+import pytest
+
+from repro.host import DatalinkSpec, build_url
+from repro.system import System
+
+
+@pytest.fixture
+def system():
+    return System(seed=7)
+
+
+@pytest.fixture
+def media(system):
+    """System with a datalink table and a handful of user files."""
+    def setup():
+        for i in range(5):
+            system.create_user_file("fs1", f"/v/clip{i}.mpg", owner="alice",
+                                    content=f"VIDEO-{i}" * 20)
+        yield from system.host.create_datalink_table(
+            "clips", [("id", "INT"), ("title", "TEXT"), ("video", "TEXT")],
+            {"video": DatalinkSpec(access_control="full", recovery=True)})
+
+    system.run(setup())
+    return system
+
+
+def url(i: int, server: str = "fs1") -> str:
+    return build_url(server, f"/v/clip{i}.mpg")
+
+
+def insert_clip(session, i: int):
+    """Generator: link clip i through SQL."""
+    count = yield from session.execute(
+        "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+        (i, f"clip {i}", url(i)))
+    return count

@@ -1,0 +1,213 @@
+"""Property-based DLFM invariant testing.
+
+Random sequences of datalink operations (insert/delete/update of rows,
+commits and rollbacks) must preserve the system's core invariants:
+
+I1  at most one *linked* dfm_file entry per filename;
+I2  after commit, a file is owned by the DLFM admin user iff it is
+    linked under full access control;
+I3  the set of linked files equals the set of URLs in committed host
+    rows;
+I4  the DLFM transaction table is empty when no transaction is open and
+    no group work is pending;
+I5  the check-flag discipline: linked ⇔ check_flag = '0'.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlff.filter import DLFM_ADMIN
+from repro.dlfm import schema
+from repro.errors import ReproError, TransactionAborted
+from repro.host import DatalinkSpec, build_url
+from repro.system import System
+
+N_FILES = 6
+
+# op: (kind, file index) — "txn_end" ops carry commit/rollback choice
+op_strategy = st.one_of(
+    st.tuples(st.just("link"), st.integers(0, N_FILES - 1)),
+    st.tuples(st.just("unlink"), st.integers(0, N_FILES - 1)),
+    st.tuples(st.just("move"), st.integers(0, N_FILES - 1)),
+    st.tuples(st.just("commit"), st.just(0)),
+    st.tuples(st.just("rollback"), st.just(0)),
+)
+
+
+def check_invariants(system, committed_links: dict):
+    dlfm = system.dlfms["fs1"]
+    entries = dlfm.file_entries()
+
+    # I1 + I5
+    linked = [row for row in entries if row[8] == schema.ST_LINKED]
+    per_file = Counter(row[0] for row in linked)
+    assert all(count == 1 for count in per_file.values()), per_file
+    for row in entries:
+        if row[8] == schema.ST_LINKED:
+            assert row[9] == schema.LINKED_FLAG
+        else:
+            assert row[9] != schema.LINKED_FLAG
+
+    # I3: linked set == committed host references
+    assert set(per_file) == set(committed_links.values())
+
+    # I2: ownership reflects linkage (full access control)
+    for i in range(N_FILES):
+        path = f"/inv/f{i}"
+        owner = system.servers["fs1"].fs.stat(path).owner
+        if path in per_file:
+            assert owner == DLFM_ADMIN, f"{path} linked but owner {owner}"
+        else:
+            assert owner == "user", f"{path} free but owner {owner}"
+
+    # I4
+    assert dlfm.db.table_rows("dfm_txn") == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=15))
+def test_random_op_sequences_preserve_invariants(ops):
+    system = System(seed=13)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "inv", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(access_control="full", recovery=False)})
+        for i in range(N_FILES):
+            system.create_user_file("fs1", f"/inv/f{i}", owner="user")
+
+    system.run(setup())
+
+    committed: dict[int, str] = {}   # row id → path (committed state)
+    pending: dict[int, str] = {}     # row id → path (open transaction)
+    row_counter = [0]
+
+    def driver():
+        session = system.session()
+        in_txn = {"dirty": False}
+
+        def end_txn(commit):
+            if commit:
+                yield from session.commit()
+                committed.clear()
+                committed.update(pending)
+            else:
+                yield from session.rollback()
+                pending.clear()
+                pending.update(committed)
+            in_txn["dirty"] = False
+
+        pending.update(committed)
+        for kind, index in ops:
+            path = f"/inv/f{index}"
+            url = build_url("fs1", path)
+            try:
+                if kind == "link":
+                    if path in pending.values():
+                        continue  # a second link would (correctly) fail
+                    row_counter[0] += 1
+                    row_id = row_counter[0]
+                    yield from session.execute(
+                        "INSERT INTO inv (id, doc) VALUES (?, ?)",
+                        (row_id, url))
+                    pending[row_id] = path
+                    in_txn["dirty"] = True
+                elif kind == "unlink":
+                    victims = [rid for rid, p in pending.items()
+                               if p == path]
+                    if not victims:
+                        continue
+                    yield from session.execute(
+                        "DELETE FROM inv WHERE id = ?", (victims[0],))
+                    del pending[victims[0]]
+                    in_txn["dirty"] = True
+                elif kind == "move":
+                    # unlink+relink in one transaction: move the link to
+                    # a fresh row id
+                    victims = [rid for rid, p in pending.items()
+                               if p == path]
+                    if not victims:
+                        continue
+                    yield from session.execute(
+                        "DELETE FROM inv WHERE id = ?", (victims[0],))
+                    del pending[victims[0]]
+                    row_counter[0] += 1
+                    yield from session.execute(
+                        "INSERT INTO inv (id, doc) VALUES (?, ?)",
+                        (row_counter[0], url))
+                    pending[row_counter[0]] = path
+                    in_txn["dirty"] = True
+                elif kind == "commit":
+                    yield from end_txn(commit=True)
+                else:
+                    yield from end_txn(commit=False)
+            except TransactionAborted:
+                yield from session.rollback()
+                pending.clear()
+                pending.update(committed)
+                in_txn["dirty"] = False
+        # close any open transaction so invariants can be checked
+        yield from end_txn(commit=True)
+
+    system.run(driver())
+    check_invariants(system, committed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=10), st.booleans())
+def test_invariants_survive_crash_and_recovery(ops, crash_dlfm):
+    """Same fuzz, but with a crash+restart+indoubt-resolution at the end."""
+    system = System(seed=29)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "inv", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(access_control="full", recovery=False)})
+        for i in range(N_FILES):
+            system.create_user_file("fs1", f"/inv/f{i}", owner="user")
+
+    system.run(setup())
+    committed: dict[int, str] = {}
+    row_counter = [0]
+
+    def driver():
+        session = system.session()
+        pending = dict(committed)
+        for kind, index in ops:
+            path = f"/inv/f{index}"
+            url = build_url("fs1", path)
+            try:
+                if kind == "link" and path not in pending.values():
+                    row_counter[0] += 1
+                    yield from session.execute(
+                        "INSERT INTO inv (id, doc) VALUES (?, ?)",
+                        (row_counter[0], url))
+                    pending[row_counter[0]] = path
+                elif kind == "unlink":
+                    victims = [rid for rid, p in pending.items()
+                               if p == path]
+                    if victims:
+                        yield from session.execute(
+                            "DELETE FROM inv WHERE id = ?", (victims[0],))
+                        del pending[victims[0]]
+                elif kind == "commit":
+                    yield from session.commit()
+                    committed.clear()
+                    committed.update(pending)
+                elif kind == "rollback":
+                    yield from session.rollback()
+                    pending = dict(committed)
+            except TransactionAborted:
+                yield from session.rollback()
+                pending = dict(committed)
+        yield from session.rollback()  # abandon whatever is open
+
+    system.run(driver())
+    if crash_dlfm:
+        system.dlfms["fs1"].crash()
+        system.dlfms["fs1"].restart()
+        from repro.host.indoubt import resolve_indoubts
+        system.run(resolve_indoubts(system.host))
+    check_invariants(system, committed)

@@ -1,0 +1,255 @@
+"""Link/Unlink semantics through the full stack (paper §3.2)."""
+
+import pytest
+
+from repro.dlff.filter import DLFM_ADMIN
+from repro.errors import LinkError, LinkedFileError
+from repro.fs.filesystem import READ_ONLY
+from repro.kernel import Timeout
+
+from tests.dlfm.conftest import insert_clip, url
+
+
+def test_insert_links_file_and_takes_ownership(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        # Before commit: file untouched (takeover happens in phase 2).
+        assert media.servers["fs1"].fs.stat("/v/clip0.mpg").owner == "alice"
+        yield from session.commit()
+
+    media.run(go())
+    node = media.servers["fs1"].fs.stat("/v/clip0.mpg")
+    assert node.owner == DLFM_ADMIN
+    assert node.mode == READ_ONLY
+    assert media.dlfms["fs1"].linked_count() == 1
+
+
+def test_rollback_leaves_no_link(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.rollback()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 0
+    assert media.servers["fs1"].fs.stat("/v/clip0.mpg").owner == "alice"
+
+
+def test_link_missing_file_fails_statement_but_txn_survives(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        with pytest.raises(LinkError):
+            yield from session.execute(
+                "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+                (9, "ghost", url(99)))
+        # first insert still alive in the transaction
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 1
+
+    def check():
+        session = media.session()
+        result = yield from session.execute("SELECT COUNT(*) FROM clips")
+        yield from session.commit()
+        return result.scalar()
+
+    assert media.run(check()) == 1
+
+
+def test_double_link_same_file_rejected(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        with pytest.raises(LinkError):
+            yield from session.execute(
+                "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+                (2, "again", url(0)))
+        yield from session.rollback()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 1
+
+
+def test_statement_backout_unwinds_partial_links(media):
+    """Second datalink column fails → the first column's link is undone
+    by an in_backout request and the host row vanishes."""
+    system = media
+
+    def go():
+        yield from system.host.create_datalink_table(
+            "pairs", [("id", "INT"), ("a", "TEXT"), ("b", "TEXT")],
+            {"a": __import__("repro.host", fromlist=["DatalinkSpec"])
+                .DatalinkSpec(),
+             "b": __import__("repro.host", fromlist=["DatalinkSpec"])
+                .DatalinkSpec()})
+        session = system.session()
+        with pytest.raises(LinkError):
+            yield from session.execute(
+                "INSERT INTO pairs (id, a, b) VALUES (?, ?, ?)",
+                (1, url(1), url(99)))  # url(99) does not exist
+        yield from session.commit()
+
+    system.run(go())
+    assert system.dlfms["fs1"].linked_count() == 0
+    assert system.dlfms["fs1"].metrics.backouts == 1
+
+    def check():
+        session = system.session()
+        result = yield from session.execute("SELECT COUNT(*) FROM pairs")
+        yield from session.commit()
+        return result.scalar()
+
+    assert system.run(check()) == 0
+
+
+def test_delete_unlinks_and_restores_ownership(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        yield from session.execute("DELETE FROM clips WHERE id = 0")
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 0
+    node = media.servers["fs1"].fs.stat("/v/clip0.mpg")
+    assert node.owner == "alice"
+
+
+def test_unlinked_entry_kept_for_recovery(media):
+    """recovery=yes → the unlinked entry stays for point-in-time restore."""
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        yield Timeout(10)  # let the Copy daemon archive
+        yield from session.execute("DELETE FROM clips WHERE id = 0")
+        yield from session.commit()
+
+    media.run(go())
+    rows = media.dlfms["fs1"].file_entries()
+    states = [row[8] for row in rows]
+    assert states == ["unlinked"]
+
+
+def test_no_recovery_entry_deleted_at_commit(media):
+    from repro.host import DatalinkSpec
+
+    def go():
+        yield from media.host.create_datalink_table(
+            "scratch", [("id", "INT"), ("f", "TEXT")],
+            {"f": DatalinkSpec(access_control="full", recovery=False)})
+        session = media.session()
+        yield from session.execute(
+            "INSERT INTO scratch (id, f) VALUES (?, ?)", (1, url(3)))
+        yield from session.commit()
+        yield from session.execute("DELETE FROM scratch WHERE id = 1")
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].file_entries() == []
+
+
+def test_update_moves_link_same_transaction(media):
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        yield from session.execute(
+            "UPDATE clips SET video = ? WHERE id = 0", (url(1),))
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 1
+    assert media.servers["fs1"].fs.stat("/v/clip1.mpg").owner == DLFM_ADMIN
+    assert media.servers["fs1"].fs.stat("/v/clip0.mpg").owner == "alice"
+
+
+def test_unlink_and_relink_same_file_one_transaction(media):
+    """The paper's 'important customer requirement': move a file's link
+    from one table to another within one transaction."""
+    from repro.host import DatalinkSpec
+
+    def go():
+        yield from media.host.create_datalink_table(
+            "archive_clips", [("id", "INT"), ("video", "TEXT")],
+            {"video": DatalinkSpec(access_control="full", recovery=True)})
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        # One transaction: remove from clips, add to archive_clips.
+        yield from session.execute("DELETE FROM clips WHERE id = 0")
+        yield from session.execute(
+            "INSERT INTO archive_clips (id, video) VALUES (?, ?)",
+            (0, url(0)))
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 1
+    assert media.servers["fs1"].fs.stat("/v/clip0.mpg").owner == DLFM_ADMIN
+
+
+def test_concurrent_double_link_race_one_wins(media):
+    """The check-flag unique-index race closure (E9)."""
+    outcomes = []
+
+    def client(delay):
+        session = media.session()
+        yield Timeout(delay)
+        try:
+            yield from session.execute(
+                "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+                (int(delay * 10), "race", url(4)))
+            yield from session.commit()
+            outcomes.append("ok")
+        except LinkError:
+            yield from session.rollback()
+            outcomes.append("already-linked")
+
+    def root():
+        media.sim.spawn(client(0.0))
+        media.sim.spawn(client(0.1))
+        yield Timeout(30)
+
+    media.run(root())
+    assert sorted(outcomes) == ["already-linked", "ok"]
+    assert media.dlfms["fs1"].linked_count() == 1
+
+
+def test_move_then_unlink_restores_true_owner(media):
+    """Regression (found by hypothesis): link+commit, then in one
+    transaction move the link (unlink+relink) AND unlink again — the
+    relink must inherit the ORIGINAL owner from the unlinking entry, not
+    stat the currently-DB-owned file."""
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 1)
+        yield from session.commit()
+        # one transaction: move the link to a new row, then drop it
+        yield from session.execute("DELETE FROM clips WHERE id = 1")
+        yield from session.execute(
+            "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+            (2, "moved", url(1)))
+        yield from session.execute("DELETE FROM clips WHERE id = 2")
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 0
+    node = media.servers["fs1"].fs.stat("/v/clip1.mpg")
+    assert node.owner == "alice"  # NOT dlfmadm
+
+
+def test_null_datalink_value_is_fine(media):
+    def go():
+        session = media.session()
+        yield from session.execute(
+            "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+            (1, "no file", None))
+        yield from session.commit()
+
+    media.run(go())
+    assert media.dlfms["fs1"].linked_count() == 0

@@ -1,0 +1,161 @@
+"""The LOAD utility: batched pieces, in-flight entries, crash resume (§4)."""
+
+import pytest
+
+from repro.dlff.filter import DLFM_ADMIN
+from repro.dlfm import schema
+from repro.host import DatalinkSpec, build_url
+from repro.host.load import LoadUtility
+from repro.kernel import Timeout
+from repro.system import System
+
+
+@pytest.fixture
+def loader_system():
+    system = System(seed=31)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "assets", [("id", "INT"), ("name", "TEXT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        for i in range(250):
+            system.create_user_file("fs1", f"/load/f{i:04d}", owner="ops")
+
+    system.run(setup())
+    return system
+
+
+def entries(n, start=0):
+    return [({"id": i, "name": f"asset {i}"},
+             build_url("fs1", f"/load/f{i:04d}"))
+            for i in range(start, start + n)]
+
+
+def host_rows(system):
+    def go():
+        session = system.host.db.session()
+        result = yield from session.execute("SELECT COUNT(*) FROM assets")
+        yield from session.commit()
+        return result.scalar()
+    return system.run(go())
+
+
+def test_load_links_everything_in_pieces(loader_system):
+    system = loader_system
+    load = LoadUtility(system.host, "assets", "doc", entries(250),
+                       piece_size=50)
+    stats = system.run(load.run())
+    assert stats.linked == 250
+    assert stats.pieces == 5
+    assert stats.rows_inserted == 250
+    assert system.dlfms["fs1"].linked_count() == 250
+    assert host_rows(system) == 250
+    # after final commit: no in-flight entry left
+    assert system.dlfms["fs1"].db.table_rows("dfm_txn") == []
+    # files were taken over by the commit's phase 2
+    node = system.servers["fs1"].fs.stat("/load/f0000")
+    assert node.owner == DLFM_ADMIN
+
+
+def test_inflight_entry_visible_between_pieces(loader_system):
+    system = loader_system
+    load = LoadUtility(system.host, "assets", "doc", entries(100),
+                       piece_size=40)
+
+    def partial():
+        yield from load._load_piece()
+        yield from load._load_piece()
+
+    system.run(partial())
+    rows = system.dlfms["fs1"].db.table_rows("dfm_txn")
+    assert len(rows) == 1
+    assert rows[0][2] == schema.TXN_INFLIGHT
+    # pieces are durable at the DLFM even though the load has not finished
+    assert system.dlfms["fs1"].linked_count() == 80
+    # finish normally
+    def finish():
+        yield from load._load_piece()
+        yield from load._finish()
+    system.run(finish())
+    assert system.dlfms["fs1"].db.table_rows("dfm_txn") == []
+
+
+def test_bounded_log_with_pieces(loader_system):
+    """A big load with a small DLFM log works because of the pieces."""
+    system = loader_system
+    system.dlfms["fs1"].db.wal.capacity = 300
+    load = LoadUtility(system.host, "assets", "doc", entries(250),
+                       piece_size=25)
+    stats = system.run(load.run())
+    assert stats.linked == 250
+    assert system.dlfms["fs1"].db.wal.metrics.log_fulls == 0
+
+
+def test_crash_mid_load_then_resume(loader_system):
+    system = loader_system
+    dlfm = system.dlfms["fs1"]
+    load = LoadUtility(system.host, "assets", "doc", entries(200),
+                       piece_size=50)
+
+    def first_half():
+        yield from load._load_piece()
+        yield from load._load_piece()
+
+    system.run(first_half())
+    assert dlfm.linked_count() == 100
+    dlfm.crash()
+    dlfm.restart()
+    # completed pieces survived the crash (they were locally committed)
+    assert dlfm.linked_count() == 100
+    rows = dlfm.db.table_rows("dfm_txn")
+    assert rows and rows[0][2] == schema.TXN_INFLIGHT
+
+    stats = system.run(load.resume())
+    assert stats.resumed is True
+    assert dlfm.linked_count() == 200
+    assert host_rows(system) == 200
+    assert dlfm.db.table_rows("dfm_txn") == []
+
+
+def test_resume_skips_already_linked(loader_system):
+    """Re-running a whole load over partially ingested data just skips."""
+    system = loader_system
+    first = LoadUtility(system.host, "assets", "doc", entries(60),
+                        piece_size=30)
+    system.run(first.run())
+    again = LoadUtility(system.host, "assets", "doc", entries(120),
+                        piece_size=30)
+    stats = system.run(again.run())
+    assert stats.skipped == 60
+    assert stats.linked == 60
+    assert system.dlfms["fs1"].linked_count() == 120
+    assert host_rows(system) == 120
+
+
+def test_abort_of_inflight_keeps_pieces(loader_system):
+    """Phase-2 abort for an in-flight utility does NOT undo pieces."""
+    from repro.dlfm import api
+    from repro.kernel import rpc
+    system = loader_system
+    dlfm = system.dlfms["fs1"]
+    load = LoadUtility(system.host, "assets", "doc", entries(50),
+                       piece_size=25)
+
+    def partial_then_abort():
+        yield from load._load_piece()
+        chan = dlfm.connect()
+        result = yield from rpc.call(
+            system.sim, chan,
+            api.Abort(system.host.dbid, load._utility_txn.id))
+        chan.close()
+        return result
+
+    result = system.run(partial_then_abort())
+    assert result["outcome"] == "in-flight-kept"
+    assert dlfm.linked_count() == 25
+
+
+def test_non_datalink_column_rejected(loader_system):
+    from repro.errors import DataLinkError
+    with pytest.raises(DataLinkError):
+        LoadUtility(loader_system.host, "assets", "name", entries(1))

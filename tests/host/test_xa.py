@@ -1,0 +1,190 @@
+"""XA global transactions (§3.3): local txn id ≠ global id; host is both
+participant (to the TM) and coordinator (of its DLFMs)."""
+
+import pytest
+
+from repro.errors import DataLinkError, TransactionAborted
+from repro.host import DatalinkSpec, build_url
+from repro.host.xa import (xa_commit, xa_finish_pending, xa_prepare,
+                           xa_recover, xa_rollback)
+from repro.system import System
+
+
+@pytest.fixture
+def xa_system():
+    system = System(seed=61, servers=("fs1", "fs2"))
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "gt", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        for server in ("fs1", "fs2"):
+            for i in range(3):
+                system.create_user_file(server, f"/g/f{i}", owner="u")
+
+    system.run(setup())
+    return system
+
+
+def start_branch(system, session, ids=((1, "fs1", 0), (2, "fs2", 0))):
+    for row_id, server, file_index in ids:
+        yield from session.execute(
+            "INSERT INTO gt (id, doc) VALUES (?, ?)",
+            (row_id, build_url(server, f"/g/f{file_index}")))
+
+
+def count_rows(system):
+    def go():
+        session = system.host.db.session()
+        result = yield from session.execute("SELECT COUNT(*) FROM gt")
+        yield from session.commit()
+        return result.scalar()
+    return system.run(go())
+
+
+def test_local_txn_id_differs_from_gtrid(xa_system):
+    def go():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        local_id = yield from xa_prepare(session, "gtrid-ABC-001")
+        yield from xa_commit(xa_system.host, "gtrid-ABC-001")
+        return local_id
+
+    local_id = xa_system.run(go())
+    assert isinstance(local_id, int)       # the paper's point: an integer
+    assert local_id != "gtrid-ABC-001"     # distinct from the global id
+    assert xa_system.dlfms["fs1"].linked_count() == 1
+    assert xa_system.dlfms["fs2"].linked_count() == 1
+    assert count_rows(xa_system) == 2
+
+
+def test_xa_rollback_undoes_both_sides(xa_system):
+    def go():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        yield from xa_prepare(session, "g2")
+        yield from xa_rollback(xa_system.host, "g2")
+
+    xa_system.run(go())
+    assert xa_system.dlfms["fs1"].linked_count() == 0
+    assert xa_system.dlfms["fs2"].linked_count() == 0
+    assert count_rows(xa_system) == 0
+    assert xa_system.host.db.table_rows("xa_pending") == []
+
+
+def test_prepared_branch_survives_host_crash_as_indoubt(xa_system):
+    host = xa_system.host
+
+    def phase1():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        return (yield from xa_prepare(session, "g3"))
+
+    local_id = xa_system.run(phase1())
+    host.db.crash()
+    summary = host.db.restart()
+    assert summary["prepared"] == [local_id]
+
+    def recover_and_commit():
+        status = yield from xa_recover(host)
+        assert status == {"g3": "indoubt"}
+        yield from xa_commit(host, "g3")
+        return (yield from xa_recover(host))
+
+    status_after = xa_system.run(recover_and_commit())
+    assert status_after == {}
+    assert count_rows(xa_system) == 2
+    assert xa_system.dlfms["fs1"].linked_count() == 1
+
+
+def test_indoubt_branch_locks_block_other_readers(xa_system):
+    """After restart the prepared branch's rows stay X-locked."""
+    host = xa_system.host
+
+    def phase1():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        yield from xa_prepare(session, "g4")
+
+    xa_system.run(phase1())
+    host.db.crash()
+    host.db.restart()
+
+    def try_read():
+        from repro.errors import LockTimeoutError
+        session = host.db.session()
+        with pytest.raises(LockTimeoutError):
+            yield from session.execute("SELECT * FROM gt", ())
+        return True
+
+    assert xa_system.run(try_read()) is True
+
+    def decide():
+        yield from xa_rollback(host, "g4")
+
+    xa_system.run(decide())
+    assert count_rows(xa_system) == 0
+
+
+def test_host_crash_after_commit_decision_redrives_phase2(xa_system):
+    host = xa_system.host
+
+    def phase1():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        local_id = yield from xa_prepare(session, "g5")
+        txn = host.db.find_prepared(local_id)
+        # local commit = durable decision; crash BEFORE phase 2
+        yield from host.db.commit(txn)
+
+    xa_system.run(phase1())
+    host.db.crash()
+    host.db.restart()
+
+    def recover():
+        status = yield from xa_recover(host)
+        assert status == {"g5": "commit-pending"}
+        finished = yield from xa_finish_pending(host)
+        return finished
+
+    finished = xa_system.run(recover())
+    assert finished == ["g5"]
+    assert xa_system.dlfms["fs1"].linked_count() == 1
+    assert xa_system.dlfms["fs2"].linked_count() == 1
+    assert host.db.table_rows("xa_pending") == []
+
+
+def test_dlfm_prepare_failure_rolls_back_global_branch(xa_system):
+    def go():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session)
+        xa_system.dlfms["fs2"].crash()
+        xa_system.dlfms["fs2"].restart()
+        with pytest.raises(TransactionAborted):
+            yield from xa_prepare(session, "g6")
+
+    xa_system.run(go())
+    assert xa_system.dlfms["fs1"].linked_count() == 0
+    assert count_rows(xa_system) == 0
+    assert xa_system.host.db.table_rows("xa_pending") == []
+
+
+def test_prepare_with_no_work_rejected(xa_system):
+    def go():
+        session = xa_system.session()
+        with pytest.raises(DataLinkError):
+            yield from xa_prepare(session, "empty")
+        return True
+
+    assert xa_system.run(go()) is True
+
+
+def test_unknown_gtrid_rejected(xa_system):
+    def go():
+        from repro.host.xa import _bootstrap
+        _bootstrap(xa_system.host)
+        with pytest.raises(DataLinkError):
+            yield from xa_commit(xa_system.host, "nope")
+        return True
+
+    assert xa_system.run(go()) is True

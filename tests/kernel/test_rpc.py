@@ -1,0 +1,156 @@
+"""RPC layer tests: call/cast/serve_loop semantics."""
+
+import pytest
+
+from repro.errors import ReproError, SimError
+from repro.kernel import Channel, Simulator, Timeout
+from repro.kernel.rpc import call, cast, serve_loop, wait_reply
+
+
+def make_server(sim, chan, handler):
+    def dispatch(payload):
+        result = yield from handler(payload)
+        return result
+    return sim.spawn(serve_loop(chan, dispatch), "server")
+
+
+def test_call_returns_result():
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def handler(payload):
+        return payload * 2
+        yield  # pragma: no cover
+
+    make_server(sim, chan, handler)
+
+    def client():
+        return (yield from call(sim, chan, 21))
+
+    assert sim.run_process(client()) == 42
+
+
+def test_call_reraises_remote_repro_error():
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def handler(payload):
+        raise ReproError("remote boom")
+        yield  # pragma: no cover
+
+    make_server(sim, chan, handler)
+
+    def client():
+        with pytest.raises(ReproError, match="remote boom"):
+            yield from call(sim, chan, 1)
+        return True
+
+    assert sim.run_process(client()) is True
+
+
+def test_requests_processed_in_fifo_order():
+    sim = Simulator()
+    chan = Channel(sim)
+    processed = []
+
+    def handler(payload):
+        processed.append(payload)
+        yield Timeout(1.0)
+        return payload
+
+    make_server(sim, chan, handler)
+
+    def client(i):
+        yield from call(sim, chan, i)
+
+    for i in range(3):
+        sim.spawn(client(i))
+    sim.run()
+    assert processed == [0, 1, 2]
+
+
+def test_cast_returns_before_processing_completes():
+    """cast = send now, reply later — the E6 async-commit mechanism."""
+    sim = Simulator()
+    chan = Channel(sim)
+    state = {}
+
+    def handler(payload):
+        yield Timeout(5.0)
+        state["done_at"] = sim.now
+        return "ok"
+
+    make_server(sim, chan, handler)
+
+    def client():
+        reply = yield from cast(sim, chan, "work")
+        state["cast_returned_at"] = sim.now
+        result = yield from wait_reply(reply)
+        state["reply_at"] = sim.now
+        return result
+
+    assert sim.run_process(client()) == "ok"
+    assert state["cast_returned_at"] == 0.0
+    assert state["reply_at"] == 5.0
+
+
+def test_busy_server_blocks_next_sender():
+    """While the server processes one request, the next send waits."""
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def handler(payload):
+        yield Timeout(10.0)
+        return payload
+
+    make_server(sim, chan, handler)
+    sent_at = {}
+
+    def first():
+        yield from call(sim, chan, "slow")
+
+    def second():
+        yield Timeout(1.0)
+        reply = yield from cast(sim, chan, "queued")
+        sent_at["second"] = sim.now  # only after the server receives it
+        yield from wait_reply(reply)
+
+    sim.spawn(first())
+    sim.spawn(second())
+    sim.run()
+    assert sent_at["second"] == 10.0  # blocked until the server freed up
+
+
+def test_serve_loop_exits_on_channel_close():
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def handler(payload):
+        return payload
+        yield  # pragma: no cover
+
+    server = make_server(sim, chan, handler)
+    sim.run(until=1.0)
+    chan.close()
+    sim.run()
+    assert server.finished
+    assert server.error is None
+
+
+def test_wait_reply_timeout_raises():
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def handler(payload):
+        yield Timeout(100.0)
+        return "late"
+
+    make_server(sim, chan, handler)
+
+    def client():
+        reply = yield from cast(sim, chan, 1)
+        with pytest.raises(SimError):
+            yield from wait_reply(reply, timeout=2.0)
+        return sim.now
+
+    assert sim.run_process(client()) == 2.0

@@ -1,0 +1,169 @@
+"""Unit and property-based tests for the B+tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError
+from repro.minidb.btree import BTree, INFINITY_KEY, encode_key, encode_value
+
+
+def make(unique=False, order=8):
+    return BTree("idx", "t", ("k",), unique, order=order)
+
+
+def test_insert_and_search_eq():
+    tree = make()
+    tree.insert(("a",), (0, 0))
+    tree.insert(("b",), (0, 1))
+    assert tree.search_eq(("a",)) == [(0, 0)]
+    assert tree.search_eq(("b",)) == [(0, 1)]
+    assert tree.search_eq(("c",)) == []
+
+
+def test_duplicate_rids_allowed_on_non_unique():
+    tree = make()
+    tree.insert(("a",), (0, 0))
+    tree.insert(("a",), (0, 1))
+    assert sorted(tree.search_eq(("a",))) == [(0, 0), (0, 1)]
+
+
+def test_unique_index_rejects_duplicate_key():
+    tree = make(unique=True)
+    tree.insert(("a",), (0, 0))
+    with pytest.raises(DuplicateKeyError):
+        tree.insert(("a",), (0, 1))
+    assert len(tree) == 1
+
+
+def test_delete_specific_entry():
+    tree = make()
+    tree.insert(("a",), (0, 0))
+    tree.insert(("a",), (0, 1))
+    assert tree.delete(("a",), (0, 0)) is True
+    assert tree.search_eq(("a",)) == [(0, 1)]
+    assert tree.delete(("a",), (9, 9)) is False
+
+
+def test_splits_preserve_order_with_many_keys():
+    tree = make(order=4)
+    keys = [f"k{i:04d}" for i in range(500)]
+    for i, key in enumerate(keys):
+        tree.insert((key,), (i, 0))
+    scanned = [k for k, _ in tree.scan_range(None, True, None, True)]
+    assert scanned == sorted(encode_key((k,)) for k in keys)
+    assert tree.nlevels > 1
+
+
+def test_range_scan_inclusive_exclusive():
+    tree = make()
+    for i in range(10):
+        tree.insert((i,), (i, 0))
+    rids = [rid for _, rid in tree.scan_range((3,), True, (6,), True)]
+    assert rids == [(3, 0), (4, 0), (5, 0), (6, 0)]
+    rids = [rid for _, rid in tree.scan_range((3,), False, (6,), False)]
+    assert rids == [(4, 0), (5, 0)]
+
+
+def test_range_scan_unbounded_sides():
+    tree = make()
+    for i in range(5):
+        tree.insert((i,), (i, 0))
+    assert [r for _, r in tree.scan_range(None, True, (2,), True)] == [
+        (0, 0), (1, 0), (2, 0)]
+    assert [r for _, r in tree.scan_range((3,), True, None, True)] == [
+        (3, 0), (4, 0)]
+
+
+def test_prefix_scan_on_composite_key():
+    tree = BTree("idx", "t", ("a", "b"), unique=False, order=8)
+    tree.insert((1, "x"), (0, 0))
+    tree.insert((1, "y"), (0, 1))
+    tree.insert((2, "x"), (0, 2))
+    rids = [rid for _, rid in tree.scan_range((1,), True, (1,), True)]
+    assert rids == [(0, 0), (0, 1)]
+
+
+def test_next_key_after():
+    tree = make()
+    for value in (10, 20, 30):
+        tree.insert((value,), (value, 0))
+    assert tree.next_key_after((10,)) == encode_key((20,))
+    assert tree.next_key_after((15,)) == encode_key((20,))
+    assert tree.next_key_after((30,)) is INFINITY_KEY
+    assert tree.next_key_after(None) == encode_key((10,))
+
+
+def test_next_key_skips_equal_duplicates():
+    tree = make()
+    tree.insert((10,), (0, 0))
+    tree.insert((10,), (0, 1))
+    tree.insert((20,), (0, 2))
+    assert tree.next_key_after((10,)) == encode_key((20,))
+
+
+def test_null_sorts_lowest():
+    tree = make()
+    tree.insert((None,), (0, 0))
+    tree.insert((1,), (0, 1))
+    scanned = [rid for _, rid in tree.scan_range(None, True, None, True)]
+    assert scanned == [(0, 0), (0, 1)]
+
+
+def test_mixed_type_keys_order_stably():
+    assert encode_value(None) < encode_value(5) < encode_value("a")
+
+
+def test_clear():
+    tree = make()
+    tree.insert((1,), (0, 0))
+    tree.clear()
+    assert len(tree) == 0
+    assert tree.search_eq((1,)) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                max_size=300))
+def test_property_inserted_keys_all_findable(values):
+    tree = BTree("idx", "t", ("k",), unique=False, order=6)
+    for i, value in enumerate(values):
+        tree.insert((value,), (i, 0))
+    for i, value in enumerate(values):
+        assert (i, 0) in tree.search_eq((value,))
+    scanned = [k for k, _ in tree.scan_range(None, True, None, True)]
+    assert scanned == sorted(scanned)
+    assert len(scanned) == len(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=0, max_value=50)),
+                min_size=1, max_size=200))
+def test_property_matches_reference_model(ops):
+    """Insert/delete fuzz against a sorted-list reference model."""
+    tree = BTree("idx", "t", ("k",), unique=False, order=5)
+    model: list[tuple[int, tuple]] = []
+    for i, (is_insert, value) in enumerate(ops):
+        if is_insert:
+            tree.insert((value,), (i, 0))
+            model.append((value, (i, 0)))
+        elif model:
+            value, rid = model.pop()
+            assert tree.delete((value,), rid) is True
+    expected = sorted((encode_key((v,)), rid) for v, rid in model)
+    actual = list(tree.scan_range(None, True, None, True))
+    assert actual == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=1000), min_size=2,
+               max_size=100))
+def test_property_next_key_matches_sorted_order(values):
+    tree = BTree("idx", "t", ("k",), unique=True, order=7)
+    ordered = sorted(values)
+    for i, value in enumerate(ordered):
+        tree.insert((value,), (i, 0))
+    for a, b in zip(ordered, ordered[1:]):
+        assert tree.next_key_after((a,)) == encode_key((b,))
+    assert tree.next_key_after((ordered[-1],)) is INFINITY_KEY

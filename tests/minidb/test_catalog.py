@@ -1,0 +1,96 @@
+"""Catalog unit tests: DDL bookkeeping and statistics versioning."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.minidb.catalog import Catalog, ColumnDef
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_table("t", [ColumnDef("a", "INT"), ColumnDef("b", "TEXT")])
+    return cat
+
+
+def test_create_table_registers_columns(catalog):
+    table = catalog.require_table("t")
+    assert table.column_names == ["a", "b"]
+    assert table.position("b") == 1
+
+
+def test_duplicate_table_rejected(catalog):
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", [ColumnDef("x", "INT")])
+
+
+def test_duplicate_column_rejected():
+    cat = Catalog()
+    with pytest.raises(CatalogError):
+        cat.create_table("bad", [ColumnDef("a", "INT"),
+                                 ColumnDef("a", "TEXT")])
+
+
+def test_unknown_table_and_column(catalog):
+    with pytest.raises(CatalogError):
+        catalog.require_table("nope")
+    with pytest.raises(CatalogError):
+        catalog.require_table("t").position("nope")
+
+
+def test_create_index_validates_columns(catalog):
+    catalog.create_index("t_a", "t", ("a",), unique=True)
+    assert catalog.require_index("t_a").unique
+    with pytest.raises(CatalogError):
+        catalog.create_index("t_bad", "t", ("missing",), unique=False)
+    with pytest.raises(CatalogError):
+        catalog.create_index("t_a", "t", ("b",), unique=False)  # dup name
+
+
+def test_drop_table_removes_indexes(catalog):
+    catalog.create_index("t_a", "t", ("a",), unique=False)
+    catalog.drop_table("t")
+    with pytest.raises(CatalogError):
+        catalog.require_table("t")
+    with pytest.raises(CatalogError):
+        catalog.require_index("t_a")
+
+
+def test_fresh_table_stats_are_empty(catalog):
+    stats = catalog.stats_for("t")
+    assert stats.card == 0
+    assert stats.manual is False
+
+
+def test_runstats_updates_and_clears_manual(catalog):
+    catalog.set_stats("t", card=10)
+    assert catalog.stats_for("t").manual is True
+    catalog.runstats("t", card=55, npages=3, colcard={"a": 50})
+    stats = catalog.stats_for("t")
+    assert stats.card == 55
+    assert stats.manual is False
+    assert stats.distinct("a") == 50
+
+
+def test_every_stats_change_bumps_version(catalog):
+    v0 = catalog.stats_version("t")
+    catalog.set_stats("t", card=10)
+    v1 = catalog.stats_version("t")
+    catalog.runstats("t", card=1, npages=1, colcard={})
+    v2 = catalog.stats_version("t")
+    assert v0 < v1 < v2
+
+
+def test_set_stats_rejects_negative_card(catalog):
+    with pytest.raises(CatalogError):
+        catalog.set_stats("t", card=-1)
+
+
+def test_distinct_default_heuristic(catalog):
+    catalog.set_stats("t", card=1000)  # no colcard given
+    assert catalog.stats_for("t").distinct("a") >= 1
+
+
+def test_set_stats_derives_npages(catalog):
+    catalog.set_stats("t", card=3200)
+    assert catalog.stats_for("t").npages == 3200 // 32 + 1

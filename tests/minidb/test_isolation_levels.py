@@ -1,0 +1,140 @@
+"""RR vs RS vs CS isolation semantics, plus DROP INDEX and the measured
+Fig-4 claim that SQL commit acquires no locks."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.kernel import Simulator, Timeout
+from repro.minidb import Database, DBConfig
+
+
+def make_db(sim, **cfg):
+    db = Database(sim, "iso", DBConfig(**cfg))
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (k INT, v INT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        for k in range(10):
+            yield from session.execute(
+                "INSERT INTO t (k, v) VALUES (?, 0)", (k,))
+        yield from session.commit()
+        db.set_table_stats("t", card=1_000_000, colcard={"k": 1_000_000})
+
+    sim.run_process(setup())
+    return db
+
+
+def test_rr_blocks_phantoms_rs_and_cs_do_not():
+    outcomes = {}
+    for isolation in ("RR", "RS", "CS"):
+        sim = Simulator()
+        db = make_db(sim, isolation=isolation, next_key_locking=True)
+        result = {}
+
+        def scanner():
+            session = db.session(isolation)
+            first = yield from session.execute(
+                "SELECT COUNT(*) FROM t WHERE k BETWEEN 20 AND 30")
+            yield Timeout(5.0)
+            second = yield from session.execute(
+                "SELECT COUNT(*) FROM t WHERE k BETWEEN 20 AND 30")
+            yield from session.commit()
+            result["counts"] = (first.scalar(), second.scalar())
+
+        def inserter():
+            session = db.session()
+            yield Timeout(1.0)
+            yield from session.execute(
+                "INSERT INTO t (k, v) VALUES (25, 0)")
+            yield from session.commit()
+            result["inserted_at"] = sim.now
+
+        sim.spawn(scanner())
+        sim.spawn(inserter())
+        sim.run()
+        outcomes[isolation] = result
+
+    # RR: phantom prevented — both scans equal, inserter waited
+    assert outcomes["RR"]["counts"][0] == outcomes["RR"]["counts"][1]
+    assert outcomes["RR"]["inserted_at"] >= 5.0
+    # RS / CS: the phantom appears; the inserter was never blocked
+    for isolation in ("RS", "CS"):
+        first, second = outcomes[isolation]["counts"]
+        assert second == first + 1
+        assert outcomes[isolation]["inserted_at"] == 1.0
+
+
+def test_rs_holds_read_locks_cs_does_not():
+    outcomes = {}
+    for isolation in ("RS", "CS"):
+        sim = Simulator()
+        db = make_db(sim, isolation=isolation, next_key_locking=False)
+        result = {}
+
+        def reader():
+            session = db.session(isolation)
+            yield from session.execute("SELECT v FROM t WHERE k = 3")
+            yield Timeout(5.0)
+            yield from session.commit()
+
+        def writer():
+            session = db.session()
+            yield Timeout(1.0)
+            yield from session.execute("UPDATE t SET v = 9 WHERE k = 3")
+            yield from session.commit()
+            result["written_at"] = sim.now
+
+        sim.spawn(reader())
+        sim.spawn(writer())
+        sim.run()
+        outcomes[isolation] = result["written_at"]
+
+    assert outcomes["RS"] == 5.0   # read lock held to commit
+    assert outcomes["CS"] == 1.0   # read lock released at statement end
+
+
+def test_sql_commit_acquires_no_locks_measured():
+    """Figure 4, measured: between the last statement and the end of
+    commit, the lock manager sees zero new acquire calls."""
+    sim = Simulator()
+    db = make_db(sim)
+
+    def go():
+        session = db.session()
+        yield from session.execute("UPDATE t SET v = 1 WHERE k = 1")
+        before = db.locks.metrics.acquires
+        yield from session.commit()
+        return db.locks.metrics.acquires - before
+
+    assert sim.run_process(go()) == 0
+
+
+def test_drop_index_removes_access_path():
+    sim = Simulator()
+    db = make_db(sim)
+    assert db.explain("SELECT v FROM t WHERE k = 1")["access"] == \
+        "index_scan"
+
+    def drop():
+        session = db.session()
+        yield from session.execute("DROP INDEX t_k")
+
+    sim.run_process(drop())
+    assert db.explain("SELECT v FROM t WHERE k = 1")["access"] == \
+        "table_scan"
+    with pytest.raises(CatalogError):
+        db.catalog.require_index("t_k")
+
+
+def test_drop_unknown_index_raises():
+    sim = Simulator()
+    db = make_db(sim)
+
+    def drop():
+        session = db.session()
+        with pytest.raises(CatalogError):
+            yield from session.execute("DROP INDEX nope")
+        return True
+
+    assert sim.run_process(drop()) is True

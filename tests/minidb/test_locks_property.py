@@ -1,0 +1,109 @@
+"""Property-based lock manager testing.
+
+Random concurrent lock workloads must preserve:
+
+P1  mutual exclusion — at no instant do two transactions hold
+    incompatible modes on one resource;
+P2  liveness — every process eventually finishes (granted, deadlock
+    victim, or timeout: nothing hangs);
+P3  accounting — after all transactions end, the lock table is empty.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAborted
+from repro.kernel import Simulator, Timeout
+from repro.minidb.config import DBConfig
+from repro.minidb.locks import LockManager, LockMode, compatible
+from repro.minidb.txn import TransactionTable
+
+# Each process: list of (resource index, mode, hold time)
+step = st.tuples(st.integers(0, 3),
+                 st.sampled_from([LockMode.S, LockMode.X]),
+                 st.floats(0.0, 2.0))
+process_plan = st.lists(step, min_size=1, max_size=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(process_plan, min_size=2, max_size=5))
+def test_random_workloads_hold_invariants(plans):
+    sim = Simulator(seed=3)
+    config = DBConfig(lock_timeout=30.0, deadlock_check_interval=0.5)
+    locks = LockManager(sim, config)
+    txns = TransactionTable()
+    violations = []
+    finished = []
+
+    def audit():
+        """P1: check every lock head for incompatible co-holders."""
+        for head in locks.heads.values():
+            holders = list(head.holders.items())
+            for i, (txn_a, mode_a) in enumerate(holders):
+                for txn_b, mode_b in holders[i + 1:]:
+                    if not compatible(mode_a, mode_b):
+                        violations.append(
+                            (head.resource, txn_a, mode_a, txn_b, mode_b))
+
+    def proc(plan, index):
+        txn = txns.begin("RR", sim.now)
+        try:
+            for resource_index, mode, hold in plan:
+                resource = ("row", "t", (0, resource_index))
+                yield from locks.acquire(txn, resource, mode)
+                audit()
+                if hold:
+                    yield Timeout(hold)
+                audit()
+        except TransactionAborted:
+            pass
+        finally:
+            locks.release_all(txn)
+            txns.end(txn, __import__(
+                "repro.minidb.txn", fromlist=["TxnState"]).TxnState.ABORTED)
+            finished.append(index)
+
+    for i, plan in enumerate(plans):
+        sim.spawn(proc(plan, i), f"p{i}")
+    sim.run(until=500.0)
+
+    assert violations == []                  # P1
+    assert sorted(finished) == list(range(len(plans)))  # P2
+    assert locks.total_locks == 0            # P3
+    assert locks.heads == {}
+    assert locks.waiting_txns() == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 3), min_size=2, max_size=4,
+                         unique=True),
+                min_size=2, max_size=4))
+def test_opposite_order_x_locks_always_resolve(orders):
+    """All-X workloads in arbitrary orders: pure deadlock bait. Everyone
+    must terminate via grant or victim selection."""
+    sim = Simulator(seed=11)
+    config = DBConfig(lock_timeout=60.0, deadlock_check_interval=0.5)
+    locks = LockManager(sim, config)
+    txns = TransactionTable()
+    outcomes = []
+
+    def proc(order):
+        txn = txns.begin("RR", sim.now)
+        try:
+            for resource_index in order:
+                yield from locks.acquire(
+                    txn, ("row", "t", (0, resource_index)), LockMode.X)
+                yield Timeout(0.3)
+            outcomes.append("done")
+        except TransactionAborted as error:
+            outcomes.append(error.reason)
+        finally:
+            locks.release_all(txn)
+
+    for order in orders:
+        sim.spawn(proc(order))
+    sim.run(until=1000.0)
+    assert len(outcomes) == len(orders)
+    assert locks.total_locks == 0
+    # at least one transaction always completes (no total livelock)
+    assert "done" in outcomes

@@ -1,0 +1,140 @@
+"""U (update) locks: DB2's remedy for conversion deadlocks.
+
+The classic pathology: two transactions read the same row under RR
+(shared locks held) and then both try to update it — each waits for the
+other's S lock to clear before converting to X: a conversion deadlock.
+With ``update_locks=True``, update cursors (SELECT ... FOR UPDATE) take
+U instead: the second reader-for-update blocks immediately, writers
+serialize, and plain readers are still admitted alongside the U holder.
+"""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.kernel import Simulator, Timeout
+from repro.minidb import Database, DBConfig
+from repro.minidb.locks import LockMode, compatible, supremum
+
+
+def make_db(sim, **cfg):
+    cfg.setdefault("next_key_locking", False)
+    db = Database(sim, "u", DBConfig(**cfg))
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (k INT, v INT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        yield from session.execute("INSERT INTO t (k, v) VALUES (1, 0)")
+        yield from session.commit()
+        db.set_table_stats("t", card=1_000_000, colcard={"k": 1_000_000})
+
+    sim.run_process(setup())
+    return db
+
+
+# -- mode algebra ---------------------------------------------------------------
+
+def test_u_compatibility():
+    assert compatible(LockMode.U, LockMode.S)
+    assert compatible(LockMode.U, LockMode.IS)
+    assert not compatible(LockMode.U, LockMode.U)
+    assert not compatible(LockMode.U, LockMode.X)
+    assert not compatible(LockMode.U, LockMode.IX)
+
+
+def test_u_supremum():
+    assert supremum(LockMode.S, LockMode.U) == LockMode.U
+    assert supremum(LockMode.U, LockMode.X) == LockMode.X
+    assert supremum(LockMode.IS, LockMode.U) == LockMode.U
+
+
+def test_full_matrix_covers_u():
+    for mode in LockMode:
+        assert compatible(mode, LockMode.U) == compatible(LockMode.U, mode)
+        supremum(mode, LockMode.U)  # must be defined
+
+
+# -- behavioural contrast ------------------------------------------------------------
+
+def _read_then_update(select_sql: str, update_locks: bool):
+    """Two txns: read row 1 (holding locks), pause, then update it."""
+    sim = Simulator()
+    db = make_db(sim, update_locks=update_locks,
+                 deadlock_check_interval=0.5, isolation="RR")
+    outcomes = []
+
+    def txn(value):
+        session = db.session()
+        try:
+            yield from session.execute(select_sql, ())
+            yield Timeout(1.0)
+            yield from session.execute(
+                "UPDATE t SET v = ? WHERE k = 1", (value,))
+            yield from session.commit()
+            outcomes.append("ok")
+        except TransactionAborted as error:
+            outcomes.append(error.reason)
+            yield from session.rollback()
+
+    sim.spawn(txn(1))
+    sim.spawn(txn(2))
+    sim.run()
+    return sorted(outcomes), db
+
+
+def test_plain_read_then_update_conversion_deadlock():
+    """Without update cursors: both hold S, both convert → deadlock."""
+    outcomes, db = _read_then_update(
+        "SELECT v FROM t WHERE k = 1", update_locks=False)
+    assert outcomes == ["deadlock", "ok"]
+    assert db.locks.metrics.deadlocks == 1
+
+
+def test_for_update_with_u_locks_serializes_cleanly():
+    """With U cursors the second FOR UPDATE blocks up front: no deadlock,
+    both transactions succeed one after the other."""
+    outcomes, db = _read_then_update(
+        "SELECT v FROM t WHERE k = 1 FOR UPDATE", update_locks=True)
+    assert outcomes == ["ok", "ok"]
+    assert db.locks.metrics.deadlocks == 0
+
+
+def test_for_update_with_x_also_avoids_deadlock_but_blocks_readers():
+    """X-mode FOR UPDATE (the default) also serializes writers..."""
+    outcomes, db = _read_then_update(
+        "SELECT v FROM t WHERE k = 1 FOR UPDATE", update_locks=False)
+    assert outcomes == ["ok", "ok"]
+
+
+def test_u_cursor_admits_plain_readers_x_cursor_does_not():
+    """...but unlike X, a U cursor lets plain readers through."""
+    def reader_latency(update_locks: bool) -> float:
+        sim = Simulator()
+        db = make_db(sim, update_locks=update_locks, isolation="CS")
+        done = {}
+
+        def cursor_holder():
+            session = db.session()
+            yield from session.execute(
+                "SELECT v FROM t WHERE k = 1 FOR UPDATE", ())
+            yield Timeout(10.0)   # think before deciding to update
+            yield from session.commit()
+
+        def reader():
+            session = db.session()
+            yield Timeout(1.0)
+            yield from session.execute("SELECT v FROM t WHERE k = 1", ())
+            yield from session.commit()
+            done["at"] = sim.now
+
+        sim.spawn(cursor_holder())
+        sim.spawn(reader())
+        sim.run()
+        return done["at"]
+
+    assert reader_latency(update_locks=True) == 1.0    # U admits S
+    assert reader_latency(update_locks=False) == 10.0  # X blocks S
+
+
+def test_update_locks_off_by_default():
+    assert DBConfig().update_locks is False

@@ -1,0 +1,78 @@
+"""EXPLAIN statement: report access paths without executing."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.minidb import Database, DBConfig
+
+
+@pytest.fixture
+def db(sim):
+    db = Database(sim, "ex", DBConfig())
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (a INT, b TEXT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_a ON t (a)")
+        for i in range(10):
+            yield from session.execute(
+                "INSERT INTO t (a, b) VALUES (?, 'x')", (i,))
+        yield from session.commit()
+
+    sim.run_process(setup())
+    return db
+
+
+def explain(db, sql):
+    def go():
+        session = db.session()
+        result = yield from session.execute(sql)
+        yield from session.commit()
+        return result.rows[0]
+    return db.sim.run_process(go())
+
+
+def test_explain_select_reports_plan(db):
+    kind, access, index, cost = explain(db, "EXPLAIN SELECT * FROM t "
+                                            "WHERE a = 1")
+    assert kind == "select"
+    assert access == "table_scan"   # default stats: card=0
+    assert cost is not None
+
+
+def test_explain_reflects_statistics(db):
+    db.set_table_stats("t", card=1_000_000, colcard={"a": 1_000_000})
+    _, access, index, _ = explain(db, "EXPLAIN SELECT * FROM t WHERE a = 1")
+    assert access == "index_scan"
+    assert index == "t_a"
+
+
+def test_explain_update_and_delete(db):
+    assert explain(db, "EXPLAIN UPDATE t SET b = 'y' WHERE a = 1")[0] == \
+        "update"
+    assert explain(db, "EXPLAIN DELETE FROM t WHERE a = 1")[0] == "delete"
+
+
+def test_explain_insert(db):
+    kind, access, index, cost = explain(
+        db, "EXPLAIN INSERT INTO t (a, b) VALUES (99, 'z')")
+    assert kind == "insert"
+    assert access == "n/a"
+
+
+def test_explain_does_not_execute(db):
+    explain(db, "EXPLAIN DELETE FROM t")
+    def count():
+        session = db.session()
+        result = yield from session.execute("SELECT COUNT(*) FROM t")
+        yield from session.commit()
+        return result.scalar()
+    assert db.sim.run_process(count()) == 10  # nothing was deleted
+
+
+def test_explain_takes_no_locks(db):
+    def go():
+        session = db.session()
+        yield from session.execute("EXPLAIN SELECT * FROM t WHERE a = 1")
+        return session.txn
+    assert db.sim.run_process(go()) is None  # no transaction even began

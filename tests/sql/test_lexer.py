@@ -1,0 +1,67 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select") == [("KEYWORD", "SELECT")]
+    assert kinds("SeLeCt") == [("KEYWORD", "SELECT")]
+
+
+def test_identifiers_preserve_case():
+    assert kinds("dfm_file") == [("IDENT", "dfm_file")]
+    assert kinds("MyTable") == [("IDENT", "MyTable")]
+
+
+def test_numbers_int_and_float():
+    assert kinds("42 4.5") == [("NUMBER", 42), ("NUMBER", 4.5)]
+
+
+def test_string_literal():
+    assert kinds("'hello'") == [("STRING", "hello")]
+
+
+def test_string_with_escaped_quote():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("'oops")
+
+
+def test_multichar_operators_lex_greedily():
+    assert kinds("<= >= <> !=") == [
+        ("OP", "<="), ("OP", ">="), ("OP", "<>"), ("OP", "!=")]
+
+
+def test_params_and_punctuation():
+    assert kinds("(?, ?)") == [("OP", "("), ("OP", "?"), ("OP", ","),
+                               ("OP", "?"), ("OP", ")")]
+
+
+def test_line_comments_skipped():
+    assert kinds("SELECT -- comment\n1") == [("KEYWORD", "SELECT"),
+                                             ("NUMBER", 1)]
+
+
+def test_types_tokenized_as_type():
+    assert kinds("INT TEXT VARCHAR") == [("TYPE", "INT"), ("TYPE", "TEXT"),
+                                         ("TYPE", "VARCHAR")]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT @")
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("SELECT")
+    assert tokens[-1].kind == "EOF"

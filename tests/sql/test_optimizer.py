@@ -1,0 +1,124 @@
+"""Optimizer behaviour — the statistics gotchas of lesson §4 / E4."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.minidb import Database, DBConfig
+
+
+@pytest.fixture
+def db(sim):
+    db = Database(sim, "t", DBConfig())
+
+    def setup():
+        session = db.session()
+        yield from session.execute(
+            "CREATE TABLE f (id INT, name TEXT, grp INT, state TEXT)")
+        yield from session.execute("CREATE UNIQUE INDEX f_name ON f (name)")
+        yield from session.execute("CREATE INDEX f_grp ON f (grp, state)")
+        for i in range(200):
+            yield from session.execute(
+                "INSERT INTO f (id, name, grp, state) VALUES (?, ?, ?, ?)",
+                (i, f"n{i}", i % 10, f"s{i % 40}"))
+        yield from session.commit()
+
+    sim.run_process(setup())
+    return db
+
+
+def test_default_stats_prefer_table_scan(db):
+    """Fresh table: card=0 in the catalog → table scan wins (the gotcha)."""
+    info = db.explain("SELECT * FROM f WHERE name = ?")
+    assert info["access"] == "table_scan"
+
+
+def test_runstats_flips_to_index_scan(db):
+    db.runstats("f")
+    info = db.explain("SELECT * FROM f WHERE name = ?")
+    assert info == {"kind": "select", "access": "index_scan",
+                    "index": "f_name", "cost": info["cost"]}
+
+
+def test_hand_crafted_stats_force_index_scan(db):
+    """The paper's utility: poke catalog stats before binding plans."""
+    db.set_table_stats("f", card=1_000_000, npages=40_000,
+                       colcard={"name": 1_000_000, "grp": 10})
+    info = db.explain("SELECT * FROM f WHERE name = ?")
+    assert info["access"] == "index_scan"
+    assert db.catalog.stats_for("f").manual is True
+
+
+def test_user_runstats_overwrites_manual_flag(db):
+    db.set_table_stats("f", card=1_000_000)
+    db.runstats("f")
+    assert db.catalog.stats_for("f").manual is False
+
+
+def test_stats_change_invalidates_bound_plan(db):
+    before = db.explain("SELECT * FROM f WHERE name = ?")
+    assert before["access"] == "table_scan"
+    binds_before = db.metrics.plan_binds
+    db.set_table_stats("f", card=1_000_000, colcard={"name": 1_000_000})
+    after = db.explain("SELECT * FROM f WHERE name = ?")
+    assert after["access"] == "index_scan"
+    assert db.metrics.plan_invalidations >= 1
+    assert db.metrics.plan_binds > binds_before
+
+
+def test_plan_is_cached_until_invalidation(db):
+    db.explain("SELECT * FROM f WHERE name = ?")
+    binds = db.metrics.plan_binds
+    db.explain("SELECT * FROM f WHERE name = ?")
+    assert db.metrics.plan_binds == binds
+
+
+def test_composite_index_prefix_match(db):
+    db.runstats("f")
+    info = db.explain("SELECT * FROM f WHERE grp = ? AND state = ?")
+    assert info["access"] == "index_scan"
+    assert info["index"] == "f_grp"
+
+
+def test_range_predicate_uses_index(db):
+    db.runstats("f")
+    # grp equality + state range rides the composite index
+    info = db.explain("SELECT * FROM f WHERE grp = 3 AND state > 'a'")
+    assert info["access"] == "index_scan"
+
+
+def test_non_leading_column_cannot_use_index(db):
+    db.runstats("f")
+    info = db.explain("SELECT * FROM f WHERE state = 'a'")
+    assert info["access"] == "table_scan"
+
+
+def test_inequality_not_sargable(db):
+    db.runstats("f")
+    info = db.explain("SELECT * FROM f WHERE name <> 'n5'")
+    assert info["access"] == "table_scan"
+
+
+def test_update_and_delete_use_chosen_access_path(db):
+    db.runstats("f")
+    assert db.explain("UPDATE f SET state = 'b' WHERE name = ?")[
+        "access"] == "index_scan"
+    assert db.explain("DELETE FROM f WHERE name = ?")["access"] == "index_scan"
+
+
+def test_cost_model_no_locking_term(db):
+    """The cost numbers depend only on statistics — by design (the flaw)."""
+    db.runstats("f")
+    cost_idle = db.explain("SELECT * FROM f WHERE name = ?")["cost"]
+    db._invalidate_plans()
+    # "Concurrency" cannot influence the optimizer: same cost regardless.
+    cost_again = db.explain("SELECT * FROM f WHERE name = ?")["cost"]
+    assert cost_idle == cost_again
+
+
+def test_table_scans_counted_in_metrics(db):
+    def go():
+        session = db.session()
+        yield from session.execute("SELECT * FROM f WHERE state = 'a'")
+        yield from session.commit()
+    db.sim.run_process(go())
+    assert db.metrics.table_scans >= 1

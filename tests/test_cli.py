@@ -1,0 +1,39 @@
+"""CLI smoke tests (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_experiments_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("E1", "E5", "E10"):
+        assert exp_id in out
+    assert "bench_e6_sync_commit" in out
+
+
+def test_paper_summary(capsys):
+    assert main(["paper"]) == 0
+    out = capsys.readouterr().out
+    assert "SIGMOD 2000" in out
+    assert "DataLinks" in out
+
+
+def test_systemtest_runs_small(capsys):
+    assert main(["systemtest", "--clients", "3", "--minutes", "1",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "inserts_per_min" in out
+    assert "tuned" in out
+
+
+def test_systemtest_untuned_flag(capsys):
+    assert main(["systemtest", "--clients", "3", "--minutes", "1",
+                 "--untuned"]) == 0
+    assert "untuned" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,117 @@
+"""Whole-system integration: the paper's Figures 1–3 as one scenario.
+
+A host database, two file servers with DLFM/DLFF, an archive server;
+full- and partial-control columns; SQL search → tokens → file API;
+referential integrity from both control modes; coordinated backup.
+"""
+
+import pytest
+
+from repro.dlff.filter import DLFM_ADMIN
+from repro.errors import AccessTokenError, LinkedFileError
+from repro.host import DatalinkSpec, build_url
+from repro.kernel import Timeout
+from repro.system import System
+
+
+@pytest.fixture
+def world():
+    return System(seed=71, servers=("media-fs", "mail-fs"))
+
+
+def test_figure_1_to_3_full_scenario(world):
+    host = world.host
+
+    def scenario():
+        # -- Figure 1: tables with datalink columns over two servers -----
+        yield from host.create_datalink_table(
+            "clips", [("id", "INT"), ("title", "TEXT"), ("video", "TEXT")],
+            {"video": DatalinkSpec(access_control="full", recovery=True)})
+        yield from host.create_datalink_table(
+            "mails", [("id", "INT"), ("subject", "TEXT"), ("att", "TEXT")],
+            {"att": DatalinkSpec(access_control="partial", recovery=False)})
+
+        world.create_user_file("media-fs", "/v/dunk.mpg", owner="editor",
+                               content="MPEG" * 100)
+        world.create_user_file("mail-fs", "/m/profile.pdf", owner="mailer",
+                               content="PDF-DATA")
+
+        session = world.session()
+        yield from session.execute(
+            "INSERT INTO clips (id, title, video) VALUES (?, ?, ?)",
+            (1, "Dunk contest", build_url("media-fs", "/v/dunk.mpg")))
+        yield from session.execute(
+            "INSERT INTO mails (id, subject, att) VALUES (?, ?, ?)",
+            (1, "customer profile",
+             build_url("mail-fs", "/m/profile.pdf")))
+        yield from session.commit()
+
+        # -- control-mode differences -------------------------------------
+        video = world.servers["media-fs"].fs.stat("/v/dunk.mpg")
+        attachment = world.servers["mail-fs"].fs.stat("/m/profile.pdf")
+        assert video.owner == DLFM_ADMIN            # full: taken over
+        assert attachment.owner == "mailer"         # partial: kept
+
+        # -- Figure 3: search, tokens, standard file API -------------------
+        rows, tokens = yield from session.fetch_with_tokens(
+            "SELECT title, video FROM clips WHERE id = 1")
+        video_url = rows[0][1]
+        content = world.filtered_fs("media-fs").read(
+            "/v/dunk.mpg", "viewer", token=tokens[video_url])
+        assert content.startswith("MPEG")
+        with pytest.raises(AccessTokenError):
+            world.filtered_fs("media-fs").read("/v/dunk.mpg", "viewer")
+        # partial control: normal reads keep working, no token needed
+        assert world.filtered_fs("mail-fs").read(
+            "/m/profile.pdf", "anyone") == "PDF-DATA"
+
+        # -- referential integrity in both modes ----------------------------
+        with pytest.raises(LinkedFileError):
+            yield from world.filtered_fs("media-fs").delete(
+                "/v/dunk.mpg", "editor")
+        with pytest.raises(LinkedFileError):
+            yield from world.filtered_fs("mail-fs").rename(
+                "/m/profile.pdf", "/m/elsewhere.pdf", "mailer")
+        # partial control still allows in-place writes via fs permissions
+        yield from world.filtered_fs("mail-fs").write(
+            "/m/profile.pdf", "mailer", "PDF-DATA-v2")
+
+        # -- coordinated backup touches only recoverable columns --------------
+        yield Timeout(20)  # copy daemon
+        backup_id = yield from world.backup()
+        assert world.archive.copy_count() == 1  # only the clip (recovery)
+
+        # -- unlink restores normal life ------------------------------------
+        yield from session.execute("DELETE FROM clips WHERE id = 1")
+        yield from session.execute("DELETE FROM mails WHERE id = 1")
+        yield from session.commit()
+        assert world.servers["media-fs"].fs.stat(
+            "/v/dunk.mpg").owner == "editor"
+        yield from world.filtered_fs("mail-fs").delete(
+            "/m/profile.pdf", "mailer")
+        return backup_id
+
+    backup_id = world.run(scenario())
+    assert backup_id == 1
+    assert world.dlfms["media-fs"].linked_count() == 0
+    assert world.dlfms["mail-fs"].linked_count() == 0
+
+
+def test_session_misuse_is_caught(world):
+    from repro.errors import DatabaseError
+
+    def go():
+        plain = world.host.db.session()
+        yield from plain.execute("CREATE TABLE t (a INT)")
+        yield from plain.execute("INSERT INTO t (a) VALUES (1)")
+        yield from plain.execute("INSERT INTO t (a) VALUES (2)")
+        with pytest.raises(DatabaseError):
+            yield from plain.query_one("SELECT a FROM t")  # two rows
+        with pytest.raises(DatabaseError):
+            plain.rollback_to_savepoint("never-created")
+        with pytest.raises(DatabaseError):
+            yield from plain.query_one("INSERT INTO t (a) VALUES (3)")
+        yield from plain.rollback()
+        return True
+
+    assert world.run(go()) is True
