@@ -18,7 +18,6 @@ from repro.dlfm import api
 from repro.errors import ReproError
 from repro.host import DatalinkSpec, build_url
 from repro.host.indoubt import resolve_indoubts
-from repro.kernel import rpc
 from repro.kernel.sim import Timeout
 from repro.system import System
 

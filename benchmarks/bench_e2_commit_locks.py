@@ -25,9 +25,7 @@ def _measure(dlfm_config, clients, duration, think):
         dlfm_config=dlfm_config))
     system = report.system
     dlfm = system.dlfms["fs1"]
-    host_locks = system.host.db.locks.metrics
     dlfm_locks = dlfm.db.locks.metrics
-    commits = dlfm.metrics.commits or 1
     return {
         "report": report,
         "dlfm_lock_acquires_per_commit": round(
@@ -38,6 +36,7 @@ def _measure(dlfm_config, clients, duration, think):
         "host_commit_lock_acquires": 0,  # by construction: release-only
         "dlfm_deadlocks": dlfm_locks.deadlocks,
         "dlfm_timeouts": dlfm_locks.timeouts,
+        "latency": report.latency_hist.summary(),
     }
 
 
@@ -67,6 +66,15 @@ def test_e2_commit_processing_locks(benchmark):
              tuned["dlfm_deadlocks"], untuned["dlfm_deadlocks"]),
             ("2PC commits completed", "all",
              tuned["dlfm_commits"], untuned["dlfm_commits"]),
+            ("op latency p50 (s)", "-",
+             round(tuned["latency"]["p50"], 3),
+             round(untuned["latency"]["p50"], 3)),
+            ("op latency p95 (s)", "-",
+             round(tuned["latency"]["p95"], 3),
+             round(untuned["latency"]["p95"], 3)),
+            ("op latency p99 (s)", "-",
+             round(tuned["latency"]["p99"], 3),
+             round(untuned["latency"]["p99"], 3)),
         ])
     # Fig 4's structural claim: DLFM commit work takes locks.
     assert tuned["dlfm_lock_acquires_per_commit"] > 0
@@ -74,3 +82,7 @@ def test_e2_commit_processing_locks(benchmark):
     # every decided transaction eventually committed at the DLFM.
     assert untuned["dlfm_commits"] > 0
     assert tuned["report"].summary()["inserts_per_min"] > 0
+    # The histogram percentiles are populated and ordered.
+    assert tuned["latency"]["count"] > 0
+    assert tuned["latency"]["p50"] <= tuned["latency"]["p95"] <= \
+        tuned["latency"]["p99"] <= tuned["latency"]["max"]

@@ -74,7 +74,6 @@ def _run(locklist: int, maxlocks: float, bulk_size: int = 250,
     def bulk_loader():
         """Links ``bulk_size`` files in ONE transaction, repeatedly."""
         session = system.session()
-        rng = system.sim.stream("bulk")
         while system.sim.now < duration:
             yield Timeout(30.0)
             try:

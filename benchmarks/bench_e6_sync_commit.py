@@ -14,7 +14,7 @@ We reproduce the exact T1 / T11 / T2 scenario with both commit modes.
 
 from benchmarks.conftest import print_table, run_once
 from repro.dlfm.config import DLFMConfig
-from repro.errors import ReproError, TransactionAborted
+from repro.errors import TransactionAborted
 from repro.host import DatalinkSpec, HostConfig, build_url
 from repro.kernel.sim import Timeout
 from repro.system import System
@@ -96,8 +96,8 @@ def _scenario(sync_commit: bool):
             yield from session.rollback()
 
     def root():
-        pa = system.sim.spawn(application_a(), "app-a")
-        pb = system.sim.spawn(application_b(), "app-b")
+        system.sim.spawn(application_a(), "app-a")
+        system.sim.spawn(application_b(), "app-b")
         yield Timeout(HORIZON)
 
     system.run(root(), until=HORIZON)

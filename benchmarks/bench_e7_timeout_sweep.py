@@ -19,6 +19,7 @@ from repro.errors import ReproError, TransactionAborted
 from repro.host import DatalinkSpec, HostConfig, build_url
 from repro.kernel.sim import Timeout
 from repro.minidb.config import TimingModel
+from repro.obs.metrics import Histogram
 from repro.system import System
 
 HOG_HOLD = 90.0
@@ -34,7 +35,7 @@ def _run(lock_timeout: float):
     system = System(seed=23, dlfm_config=dlfm_config,
                     host_config=host_config)
     stats = {"ops": 0, "timeout_aborts": 0, "deadlock_aborts": 0,
-             "latencies": [], "hog_cycles": 0}
+             "latencies": Histogram(), "hog_cycles": 0}
 
     def setup():
         yield from system.host.create_datalink_table(
@@ -72,7 +73,7 @@ def _run(lock_timeout: float):
                     (f"touch-{i}", row))
                 yield from session.commit()
                 stats["ops"] += 1
-                stats["latencies"].append(system.sim.now - started)
+                stats["latencies"].record(system.sim.now - started)
             except TransactionAborted as error:
                 if error.reason == "timeout":
                     stats["timeout_aborts"] += 1
@@ -111,13 +112,15 @@ def _run(lock_timeout: float):
             yield from proc.join()
 
     system.run(root())
-    lat = sorted(stats["latencies"])
+    lat = stats["latencies"].summary()
     return {
         "timeout_aborts": stats["timeout_aborts"],
         "deadlocks": stats["deadlock_aborts"],
         "ops_per_min": round(stats["ops"] / (DURATION / 60), 1),
-        "p95_latency": round(lat[int(len(lat) * 0.95)], 2) if lat else None,
-        "max_latency": round(lat[-1], 2) if lat else None,
+        "p50_latency": round(lat["p50"], 2) if lat["count"] else None,
+        "p95_latency": round(lat["p95"], 2) if lat["count"] else None,
+        "p99_latency": round(lat["p99"], 2) if lat["count"] else None,
+        "max_latency": round(lat["max"], 2) if lat["count"] else None,
     }
 
 
@@ -129,12 +132,13 @@ def test_e7_timeout_sweep(benchmark):
 
     results = run_once(benchmark, run)
     rows = [(f"{t:.0f}s" + (" (paper)" if t == 60 else ""),
-             r["timeout_aborts"], r["ops_per_min"], r["p95_latency"],
-             r["max_latency"]) for t, r in results]
+             r["timeout_aborts"], r["ops_per_min"], r["p50_latency"],
+             r["p95_latency"], r["p99_latency"], r["max_latency"])
+            for t, r in results]
     print_table(
         "E7 — lock-timeout sweep (15 clients on a hot pool + 90 s hog)",
-        ["timeout", "unnecessary aborts", "ops/min", "p95 lat (s)",
-         "max lat (s)"],
+        ["timeout", "unnecessary aborts", "ops/min", "p50 lat (s)",
+         "p95 lat (s)", "p99 lat (s)", "max lat (s)"],
         rows)
     by_timeout = dict(results)
     # Small timeouts abort healthy waiters; 60 s and up do not.

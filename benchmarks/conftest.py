@@ -11,7 +11,6 @@ the paper-scale runs (100 clients, 24 virtual hours for E1).
 
 import os
 
-import pytest
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
 

@@ -16,7 +16,7 @@ Run:  python examples/crash_recovery_demo.py
 from repro.dlfm import api
 from repro.host import DatalinkSpec, build_url
 from repro.host.indoubt import indoubt_poller
-from repro.kernel import Timeout, rpc
+from repro.kernel import Timeout
 from repro.system import System
 
 

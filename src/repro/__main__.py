@@ -4,6 +4,9 @@ Commands:
 
 * ``systemtest`` — run the paper's system test (E1) at chosen scale and
   print the summary (add ``--untuned`` to see the pathological arm).
+* ``trace`` — run a traced scenario, print the observability report
+  (lock hotspots, phase-2 retries, latency percentiles); ``--json`` dumps
+  the raw span events (deterministic: same seed → identical bytes).
 * ``experiments`` — list every experiment and the command regenerating it.
 * ``paper`` — one-paragraph description of what this reproduces.
 """
@@ -67,6 +70,31 @@ def cmd_systemtest(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs.report import render_report
+    from repro.obs.scenarios import SCENARIOS
+
+    scenario = SCENARIOS.get(args.scenario)
+    if scenario is None:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"choose from: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    tracer, registry, meta = scenario(seed=args.seed)
+    if args.json:
+        try:
+            with open(args.json, "w") as out:
+                out.write(tracer.to_json(**meta))
+        except OSError as error:
+            print(f"cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {len(tracer.events)} events to {args.json}")
+    for key, value in sorted(meta.items()):
+        print(f"  {key:<16} {value}")
+    print()
+    print(render_report(tracer, registry), end="")
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     width = max(len(desc) for _, desc, _ in EXPERIMENTS)
     for exp_id, desc, cmd in EXPERIMENTS:
@@ -93,6 +121,14 @@ def main(argv=None) -> int:
     st.add_argument("--untuned", action="store_true",
                     help="use the pathological pre-lessons configuration")
     st.set_defaults(fn=cmd_systemtest)
+
+    tr = sub.add_parser("trace", help="run a traced scenario and report")
+    tr.add_argument("scenario", nargs="?", default="commit-retry",
+                    help="commit-retry (default) or workload")
+    tr.add_argument("--seed", type=int, default=7)
+    tr.add_argument("--json", metavar="PATH",
+                    help="also dump the raw trace events as JSON")
+    tr.set_defaults(fn=cmd_trace)
 
     exps = sub.add_parser("experiments", help="list experiment harnesses")
     exps.set_defaults(fn=cmd_experiments)

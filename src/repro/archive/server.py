@@ -11,7 +11,6 @@ after the linking transaction committed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ArchiveError
 from repro.kernel.sim import Simulator, Timeout

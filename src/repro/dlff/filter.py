@@ -17,7 +17,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
-from repro.errors import AccessTokenError, LinkedFileError, PermissionDenied
+from repro.errors import AccessTokenError, LinkedFileError
 from repro.fs.filesystem import FileServer, FileSystem
 
 #: The administrative user that owns files under full database control.

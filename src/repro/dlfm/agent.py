@@ -19,7 +19,6 @@ from repro.dlfm import api
 from repro.errors import TransactionAborted, TwoPCProtocolError
 from repro.kernel.channel import Channel
 from repro.kernel.rpc import serve_loop
-from repro.kernel.sim import Timeout
 
 
 class ChildAgent:
@@ -38,6 +37,12 @@ class ChildAgent:
     # ------------------------------------------------------------------ dispatch
 
     def dispatch(self, req):
+        with self.dlfm.sim.tracer.span(f"dlfm.{type(req).__name__}",
+                                       dbid=getattr(req, "dbid", None),
+                                       txn=getattr(req, "txn_id", None)):
+            return (yield from self._dispatch(req))
+
+    def _dispatch(self, req):
         self.requests += 1
         yield from self.dlfm._charge_rpc()
 

@@ -11,7 +11,6 @@ requests").
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.dlff.filter import DLFM_ADMIN
 from repro.errors import PermissionDenied, ReproError

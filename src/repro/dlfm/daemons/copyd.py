@@ -28,19 +28,22 @@ class CopyDaemon:
     def sweep(self):
         """Generator: archive every currently pending entry; returns count."""
         db = self.dlfm.db
-        try:
-            session = db.session()
-            pending = yield from session.execute(
-                "SELECT filename, recovery_id FROM dfm_archive "
-                "WHERE state = ?", ("pending",))
-            yield from session.commit()
-        except TransactionAborted:
-            self.conflicts += 1
-            return 0
-        done = 0
-        for path, recovery_id in pending.rows:
-            done += yield from self._archive_one(path, recovery_id)
-        return done
+        with self.dlfm.sim.tracer.span("daemon.copyd.sweep") as span:
+            try:
+                session = db.session()
+                pending = yield from session.execute(
+                    "SELECT filename, recovery_id FROM dfm_archive "
+                    "WHERE state = ?", ("pending",))
+                yield from session.commit()
+            except TransactionAborted:
+                self.conflicts += 1
+                span.set(outcome="conflict")
+                return 0
+            done = 0
+            for path, recovery_id in pending.rows:
+                done += yield from self._archive_one(path, recovery_id)
+            span.set(pending=len(pending.rows), archived=done)
+            return done
 
     def archive_priority(self, entries):
         """Generator: backup utility asks for these copies *now* (§3.4)."""

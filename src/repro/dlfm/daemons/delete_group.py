@@ -55,20 +55,23 @@ class DeleteGroupDaemon:
     def process_txn(self, dbid: str, txn_id: int):
         """Generator: unlink all files of all groups this txn deleted."""
         db = self.dlfm.db
-        session = db.session()
-        groups = yield from session.execute(
-            "SELECT grp_id FROM dfm_group WHERE delete_txn = ? AND "
-            "dbid = ? AND state = ?", (txn_id, dbid, schema.GRP_DELETED))
-        yield from session.commit()
-        for (grp_id,) in groups.rows:
-            yield from self._drain_group(dbid, grp_id)
-            self.groups_processed += 1
-            self.dlfm.metrics.groups_deleted += 1
-        session = db.session()
-        yield from session.execute(
-            "DELETE FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
-            (dbid, txn_id))
-        yield from session.commit()
+        with self.dlfm.sim.tracer.span("daemon.delgrpd.process_txn",
+                                       dbid=dbid, txn=txn_id) as span:
+            session = db.session()
+            groups = yield from session.execute(
+                "SELECT grp_id FROM dfm_group WHERE delete_txn = ? AND "
+                "dbid = ? AND state = ?", (txn_id, dbid, schema.GRP_DELETED))
+            yield from session.commit()
+            for (grp_id,) in groups.rows:
+                yield from self._drain_group(dbid, grp_id)
+                self.groups_processed += 1
+                self.dlfm.metrics.groups_deleted += 1
+            span.set(groups=len(groups.rows))
+            session = db.session()
+            yield from session.execute(
+                "DELETE FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+                (dbid, txn_id))
+            yield from session.commit()
 
     def _drain_group(self, dbid: str, grp_id: int):
         """Unlink every linked file of the group, N per local commit."""

@@ -41,8 +41,10 @@ class GarbageCollector:
     def collect(self):
         """Generator: one full GC pass; returns a summary dict."""
         summary = {"entries": 0, "copies": 0, "groups": 0, "backups": 0}
-        yield from self._prune_backups(summary)
-        yield from self._prune_expired_groups(summary)
+        with self.dlfm.sim.tracer.span("daemon.gc.collect") as span:
+            yield from self._prune_backups(summary)
+            yield from self._prune_expired_groups(summary)
+            span.set(**summary)
         self.dlfm.metrics.gc_entries_removed += summary["entries"]
         self.dlfm.metrics.gc_copies_removed += summary["copies"]
         return summary

@@ -9,7 +9,6 @@ any user).
 
 from __future__ import annotations
 
-from repro.errors import ArchiveError
 from repro.kernel.channel import Channel
 from repro.kernel.rpc import call, serve_loop
 

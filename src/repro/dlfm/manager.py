@@ -19,11 +19,11 @@ Transactional design (paper §3.3/§4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.archive import ArchiveServer
-from repro.dlff.filter import DLFM_ADMIN, Filter
+from repro.dlff.filter import Filter
 from repro.dlfm import api, schema
 from repro.dlfm.config import DLFMConfig
 from repro.dlfm.daemons.chown import ChownDaemon
@@ -267,9 +267,9 @@ class DLFM:
         yield from session.execute(
             "UPDATE dfm_file SET state = ?, unlink_txn = ?, "
             "unlink_recovery_id = ?, unlink_time = ?, check_flag = ? "
-            "WHERE filename = ? AND check_flag = ?",
+            "WHERE filename = ? AND check_flag = ? AND dbid = ?",
             (schema.ST_UNLINKING, req.txn_id, req.recovery_id, self.sim.now,
-             req.recovery_id, req.path, schema.LINKED_FLAG))
+             req.recovery_id, req.path, schema.LINKED_FLAG, req.dbid))
         self.metrics.unlinks += 1
         return {"unlinked": True}
 
@@ -354,22 +354,35 @@ class DLFM:
 
     def op_commit(self, req: api.Commit):
         """Generator: phase 2 commit — retry until it succeeds (Fig. 4)."""
-        attempt = 0
+        attempt = 1
+        done_chown: set = set()
         while True:
-            try:
-                result = yield from self._commit_once(req)
-                self.metrics.commits += 1
-                return result
-            except TransactionAborted:
-                attempt += 1
-                self.metrics.commit_retries += 1
-                limit = self.config.commit_retry_limit
-                if limit is not None and attempt >= limit:
-                    raise
-                yield Timeout(self.config.commit_retry_delay)
+            session = self.db.session()
+            with self.sim.tracer.span("dlfm.phase2", verb="commit",
+                                      dbid=req.dbid, txn=req.txn_id,
+                                      attempt=attempt) as span:
+                try:
+                    result = yield from self._commit_once(session, req,
+                                                          done_chown)
+                    span.set(outcome="ok")
+                    self.metrics.commits += 1
+                    return result
+                except TransactionAborted as error:
+                    span.set(outcome="aborted",
+                             cause=getattr(error, "reason", None) or "error")
+                    # The failed attempt's session may still hold locks (a
+                    # deadlock victim keeps every lock not yet released):
+                    # roll it back before sleeping so the next attempt —
+                    # and everyone else — is not blocked by a corpse.
+                    yield from session.rollback()
+                    self.metrics.commit_retries += 1
+                    limit = self.config.commit_retry_limit
+                    if limit is not None and attempt >= limit:
+                        raise
+            attempt += 1
+            yield Timeout(self.config.commit_retry_delay)
 
-    def _commit_once(self, req: api.Commit):
-        session = self.db.session()
+    def _commit_once(self, session, req: api.Commit, done_chown: set):
         txn_row = yield from session.query_one(
             "SELECT state, groups_deleted FROM dfm_txn "
             "WHERE dbid = ? AND txn_id = ? FOR UPDATE",
@@ -389,8 +402,13 @@ class DLFM:
             "FROM dfm_file WHERE unlink_txn = ? AND dbid = ? AND state = ?",
             (req.txn_id, req.dbid, schema.ST_UNLINKING))
         for path, recovery, owner, group, mode in unlinking:
-            yield from self.chown.request("release", path, owner=owner,
-                                          group=group, mode=mode)
+            # Chown side effects are not transactional: remember what a
+            # failed attempt already did so retries don't redo it (the
+            # second release would race a concurrent re-link's stat).
+            if ("release", path) not in done_chown:
+                yield from self.chown.request("release", path, owner=owner,
+                                              group=group, mode=mode)
+                done_chown.add(("release", path))
             if recovery == "yes":
                 yield from session.execute(
                     "UPDATE dfm_file SET state = ? WHERE filename = ? AND "
@@ -410,9 +428,11 @@ class DLFM:
             "FROM dfm_file WHERE link_txn = ? AND dbid = ? AND state = ?",
             (req.txn_id, req.dbid, schema.ST_LINKED))
         for path, recovery_id, access_ctl, recovery in linked:
-            yield from self.chown.request(
-                "takeover", path, full=(access_ctl == "full"),
-                recovery=(recovery == "yes"))
+            if ("takeover", path) not in done_chown:
+                yield from self.chown.request(
+                    "takeover", path, full=(access_ctl == "full"),
+                    recovery=(recovery == "yes"))
+                done_chown.add(("takeover", path))
             if recovery == "yes":
                 yield from session.execute(
                     "INSERT INTO dfm_archive (filename, recovery_id, state, "
@@ -437,22 +457,30 @@ class DLFM:
     def op_abort_prepared(self, req: api.Abort):
         """Generator: phase 2 abort after prepare — undo committed local
         changes via the delayed-update records; retry until success."""
-        attempt = 0
+        attempt = 1
         while True:
-            try:
-                result = yield from self._abort_once(req)
-                self.metrics.aborts += 1
-                return result
-            except TransactionAborted:
-                attempt += 1
-                self.metrics.abort_retries += 1
-                limit = self.config.commit_retry_limit
-                if limit is not None and attempt >= limit:
-                    raise
-                yield Timeout(self.config.commit_retry_delay)
+            session = self.db.session()
+            with self.sim.tracer.span("dlfm.phase2", verb="abort",
+                                      dbid=req.dbid, txn=req.txn_id,
+                                      attempt=attempt) as span:
+                try:
+                    result = yield from self._abort_once(session, req)
+                    span.set(outcome="ok")
+                    self.metrics.aborts += 1
+                    return result
+                except TransactionAborted as error:
+                    span.set(outcome="aborted",
+                             cause=getattr(error, "reason", None) or "error")
+                    # Same as op_commit: drop the failed attempt's locks.
+                    yield from session.rollback()
+                    self.metrics.abort_retries += 1
+                    limit = self.config.commit_retry_limit
+                    if limit is not None and attempt >= limit:
+                        raise
+            attempt += 1
+            yield Timeout(self.config.commit_retry_delay)
 
-    def _abort_once(self, req: api.Abort):
-        session = self.db.session()
+    def _abort_once(self, session, req: api.Abort):
         txn_row = yield from session.query_one(
             "SELECT state FROM dfm_txn WHERE dbid = ? AND txn_id = ? "
             "FOR UPDATE", (req.dbid, req.txn_id))
@@ -544,7 +572,8 @@ class DLFM:
                                               group=group, mode=mode)
                 yield from session.execute(
                     "DELETE FROM dfm_file WHERE filename = ? AND "
-                    "recovery_id = ?", (path, recovery_id))
+                    "recovery_id = ? AND dbid = ?",
+                    (path, recovery_id, req.dbid))
                 released += 1
 
         # Pass 2: entries linked before the backup and unlinked after it
@@ -598,19 +627,32 @@ class DLFM:
                 if count % self.config.batch_commit_n == 0:
                     yield from session.commit()
 
-            # Missing on DLFM: host references it, no linked entry here.
+            # Missing on DLFM: host references it, no linked entry here
+            # *for this host database* — another dbid's linked entries
+            # must not mask a missing one of ours.
             missing = yield from session.execute(
                 "SELECT filename, recovery_id FROM temp_reconcile "
                 "EXCEPT "
-                "SELECT filename, recovery_id FROM dfm_file WHERE state = ?",
-                (schema.ST_LINKED,))
+                "SELECT filename, recovery_id FROM dfm_file WHERE state = ? "
+                "AND dbid = ?",
+                (schema.ST_LINKED, req.dbid))
             relinked = 0
+            conflicts = []
             specs = {(p, r): (g, a, rec)
                      for p, r, g, a, rec in req.entries}
             for path, recovery_id in missing.rows:
                 grp_id, access_ctl, recovery = specs[(path, recovery_id)]
                 if not self.server.fs.exists(path):
                     continue  # host side must drop the reference instead
+                holder = yield from session.query_one(
+                    "SELECT dbid FROM dfm_file WHERE filename = ? AND "
+                    "check_flag = ?", (path, schema.LINKED_FLAG))
+                if holder is not None and holder[0] != req.dbid:
+                    # The file is linked by another host database; the
+                    # unique (filename, check_flag) slot is taken, so we
+                    # cannot relink it — report the conflict instead.
+                    conflicts.append(path)
+                    continue
                 info = yield from self.chown.request("stat", path)
                 yield from session.execute(
                     "INSERT INTO dfm_file (filename, dbid, grp_id, "
@@ -654,7 +696,7 @@ class DLFM:
             dangling = [p for p, r in missing.rows
                         if not self.server.fs.exists(p)]
             return {"relinked": relinked, "removed": removed,
-                    "dangling": dangling}
+                    "dangling": dangling, "conflicts": conflicts}
         finally:
             self.db.ddl(parse_sql("DROP TABLE temp_reconcile"))
 

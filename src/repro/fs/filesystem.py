@@ -10,8 +10,7 @@ enforcement decisions read them.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.errors import FileExists, FileNotFound, PermissionDenied
 

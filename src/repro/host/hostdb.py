@@ -17,7 +17,6 @@ from repro.dlfm import api
 from repro.errors import DataLinkError
 from repro.host.datalink import DatalinkSpec, parse_url, shadow_column
 from repro.host.ids import RecoveryIdGenerator
-from repro.kernel import rpc
 from repro.kernel.sim import Simulator
 from repro.minidb import Database, DBConfig
 from repro.sql.parser import parse as parse_sql

@@ -22,7 +22,7 @@ every piece's files.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dlfm import api
 from repro.errors import DataLinkError, LinkError

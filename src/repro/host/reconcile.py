@@ -14,7 +14,6 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.dlfm import api
-from repro.errors import ReconcileError
 from repro.host.datalink import parse_url, shadow_column
 from repro.kernel import rpc
 

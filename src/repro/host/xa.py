@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.dlfm import api
 from repro.errors import DataLinkError, ReproError, TransactionAborted
 from repro.kernel import rpc
-from repro.minidb.txn import TxnState
 
 
 def _bootstrap(host) -> None:

@@ -59,12 +59,16 @@ class Channel:
             return
         handoff = Event(self.sim, name=f"{self.name}.send")
         self._senders.append((message, handoff))
-        outcome = yield handoff.wait(timeout)
-        if outcome is TIMEOUT:
-            self._drop_sender(handoff)
-            raise ChannelTimeout(f"send on {self.name} timed out")
-        if isinstance(outcome, ChannelClosed):
-            raise outcome
+        with self.sim.tracer.span("channel.send", channel=self.name) as span:
+            outcome = yield handoff.wait(timeout)
+            if outcome is TIMEOUT:
+                span.set(outcome="timeout")
+                self._drop_sender(handoff)
+                raise ChannelTimeout(f"send on {self.name} timed out")
+            if isinstance(outcome, ChannelClosed):
+                span.set(outcome="closed")
+                raise outcome
+            span.set(outcome="ok")
 
     def _pop_live_receiver(self):
         """Next receiver event that still has a live waiting process.
@@ -100,16 +104,20 @@ class Channel:
             raise ChannelClosed(self.name)
         arrival = Event(self.sim, name=f"{self.name}.recv")
         self._receivers.append(arrival)
-        outcome = yield arrival.wait(timeout)
-        if outcome is TIMEOUT:
-            try:
-                self._receivers.remove(arrival)
-            except ValueError:
-                pass
-            raise ChannelTimeout(f"recv on {self.name} timed out")
-        if isinstance(outcome, ChannelClosed):
-            raise outcome
-        return outcome
+        with self.sim.tracer.span("channel.recv", channel=self.name) as span:
+            outcome = yield arrival.wait(timeout)
+            if outcome is TIMEOUT:
+                span.set(outcome="timeout")
+                try:
+                    self._receivers.remove(arrival)
+                except ValueError:
+                    pass
+                raise ChannelTimeout(f"recv on {self.name} timed out")
+            if isinstance(outcome, ChannelClosed):
+                span.set(outcome="closed")
+                raise outcome
+            span.set(outcome="ok")
+            return outcome
 
     def _refill_from_senders(self) -> None:
         while self._senders and len(self._buffer) < self.capacity:

@@ -27,8 +27,10 @@ class Envelope:
 def call(sim: Simulator, chan: Channel, payload: Any,
          timeout: Optional[float] = None):
     """Generator: synchronous RPC; re-raises the remote exception."""
-    reply = yield from cast(sim, chan, payload)
-    return (yield from wait_reply(reply, timeout))
+    with sim.tracer.span("rpc.call", channel=chan.name,
+                         request=type(payload).__name__):
+        reply = yield from cast(sim, chan, payload)
+        return (yield from wait_reply(reply, timeout))
 
 
 def cast(sim: Simulator, chan: Channel, payload: Any):

@@ -9,6 +9,7 @@ import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimError
+from repro.obs.trace import NULL_TRACER
 
 
 class _Sentinel:
@@ -229,18 +230,23 @@ class Process:
     def _step(self, value: Any, exc: Optional[BaseException] = None) -> None:
         if self.finished or self._killed:
             return
+        prev = self.sim._current_proc
+        self.sim._current_proc = self
         try:
-            if exc is not None:
-                item = self.gen.throw(exc)
-            else:
-                item = self.gen.send(value)
-        except StopIteration as stop:
-            self._finish("ok", stop.value)
-            return
-        except BaseException as error:
-            self._finish("err", error)
-            return
-        self._dispatch(item)
+            try:
+                if exc is not None:
+                    item = self.gen.throw(exc)
+                else:
+                    item = self.gen.send(value)
+            except StopIteration as stop:
+                self._finish("ok", stop.value)
+                return
+            except BaseException as error:
+                self._finish("err", error)
+                return
+            self._dispatch(item)
+        finally:
+            self.sim._current_proc = prev
 
     def _finish(self, kind: str, payload: Any) -> None:
         self.finished = True
@@ -272,13 +278,22 @@ class Process:
 class Simulator:
     """Virtual clock plus the pending-callback heap."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, tracer=None):
         self.now = 0.0
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(self)
+        self._current_proc: Optional[Process] = None
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
         self._failures: list[tuple[Process, BaseException]] = []
         self._rng_cache: dict[str, random.Random] = {}
+
+    @property
+    def process_name(self) -> str:
+        """Name of the process currently being stepped ("kernel" if none)."""
+        proc = self._current_proc
+        return proc.name if proc is not None else "kernel"
 
     # -- scheduling -----------------------------------------------------------
 

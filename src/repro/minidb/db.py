@@ -28,7 +28,7 @@ from repro.minidb.storage import BufferPool, Disk, Heap
 from repro.minidb.txn import Transaction, TransactionTable, TxnState
 from repro.minidb.wal import LogManager
 from repro.sql import ast
-from repro.sql.executor import Executor, ResultSet
+from repro.sql.executor import Executor
 from repro.sql.optimizer import plan_statement
 from repro.sql.parser import parse
 
@@ -113,9 +113,12 @@ class Database:
             self.wal.append(walmod.COMMIT, txn,
                             active_floor=self.txns.active_floor())
             if self.wal.force():
-                cost = self.config.timing.log_force_cost()
-                if cost > 0:
-                    yield Timeout(cost)
+                with self.sim.tracer.span("wal.force", db=self.name,
+                                          txn=txn.id, record="commit",
+                                          lsn=self.wal.flushed_upto):
+                    cost = self.config.timing.log_force_cost()
+                    if cost > 0:
+                        yield Timeout(cost)
         self.locks.release_all(txn)
         self.txns.end(txn, TxnState.COMMITTED)
         self.metrics.commits += 1
@@ -139,9 +142,12 @@ class Database:
         self.wal.append(walmod.PREPARE, txn,
                         active_floor=self.txns.active_floor())
         if self.wal.force():
-            cost = self.config.timing.log_force_cost()
-            if cost > 0:
-                yield Timeout(cost)
+            with self.sim.tracer.span("wal.force", db=self.name,
+                                      txn=txn.id, record="prepare",
+                                      lsn=self.wal.flushed_upto):
+                cost = self.config.timing.log_force_cost()
+                if cost > 0:
+                    yield Timeout(cost)
         txn.state = TxnState.PREPARED
 
     def indoubt_transactions(self) -> list[Transaction]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import DeadlockError, LockTimeoutError, TransactionAborted
@@ -206,21 +206,27 @@ class LockManager:
         self._waiting[txn.id] = (resource, request, txn)
         self._arm_detector()
         wait_limit = self.config.lock_timeout if timeout is None else timeout
-        outcome = yield event.wait(wait_limit)
-        if outcome is TIMEOUT:
-            self._cancel_request(head, request)
-            self.metrics.timeouts += 1
-            txn.mark_rollback_only("timeout")
-            raise LockTimeoutError(
-                f"txn {txn.id} timed out after {wait_limit}s on "
-                f"{resource!r} ({desired.name})")
-        if outcome == "deadlock":
-            self.metrics.deadlocks += 1
-            txn.mark_rollback_only("deadlock")
-            raise DeadlockError(
-                f"txn {txn.id} chosen as deadlock victim on {resource!r}")
-        # ("granted", newly): bookkeeping was done by the granter.
-        return outcome[1]
+        with self.sim.tracer.span("lock.wait", db=self.name,
+                                  resource=resource, mode=desired.name,
+                                  txn=txn.id) as span:
+            outcome = yield event.wait(wait_limit)
+            if outcome is TIMEOUT:
+                span.set(outcome="timeout")
+                self._cancel_request(head, request)
+                self.metrics.timeouts += 1
+                txn.mark_rollback_only("timeout")
+                raise LockTimeoutError(
+                    f"txn {txn.id} timed out after {wait_limit}s on "
+                    f"{resource!r} ({desired.name})")
+            if outcome == "deadlock":
+                span.set(outcome="deadlock")
+                self.metrics.deadlocks += 1
+                txn.mark_rollback_only("deadlock")
+                raise DeadlockError(
+                    f"txn {txn.id} chosen as deadlock victim on {resource!r}")
+            # ("granted", newly): bookkeeping was done by the granter.
+            span.set(outcome="granted")
+            return outcome[1]
 
     def _grantable(self, head: _LockHead, txn, desired: LockMode,
                    is_conversion: bool) -> bool:
@@ -350,6 +356,8 @@ class LockManager:
             self.metrics.escalation_failures += 1
             raise
         self.metrics.escalations += 1
+        self.sim.tracer.event("lock.escalation", db=self.name, table=table,
+                              txn=txn.id, mode=target.name)
         for resource in list(txn.row_locks(table)):
             head = self.heads.get(resource)
             if head is not None and txn.id in head.holders:
@@ -377,6 +385,8 @@ class LockManager:
             if victim is None:
                 break
             resource, request, txn = self._waiting.pop(victim)
+            self.sim.tracer.event("lock.deadlock", db=self.name,
+                                  victim=victim, resource=resource)
             head = self.heads.get(resource)
             if head is not None:
                 try:

@@ -19,7 +19,6 @@ Behavioural contract (mirrors DB2):
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import DatabaseError, TransactionAborted
 from repro.kernel.sim import Timeout

@@ -15,7 +15,7 @@ from the log (see ``recovery.py``).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import DatabaseError

@@ -12,7 +12,7 @@ delete-group) had to dodge with periodic local commits (lesson §4, E8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.errors import LogFullError

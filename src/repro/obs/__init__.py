@@ -1,0 +1,19 @@
+"""Observability: structured tracing + latency histograms.
+
+Import surface is deliberately dependency-free — ``repro.kernel.sim``
+imports this package, so nothing here may import the kernel (scenario
+helpers that need a full ``System`` live in ``repro.obs.scenarios`` and
+are imported lazily by the CLI).
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+]

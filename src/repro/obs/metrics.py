@@ -1,0 +1,142 @@
+"""Histogram + metrics registry primitives for the observability layer.
+
+The :class:`Histogram` uses fixed log-scale buckets so percentile math
+is deterministic, bounded-memory and mergeable — the standard shape for
+latency instrumentation (cf. HdrHistogram).  Percentiles use the
+nearest-rank definition over bucket upper bounds, clamped by the true
+observed maximum so ``p100 == max`` exactly.
+
+A :class:`MetricsRegistry` is one queryable home for counters and
+histograms from every layer; ``snapshot()`` yields a plain sorted dict
+suitable for JSON dumps or report tables.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """Fixed log-scale bucket histogram with percentile queries.
+
+    Buckets are powers of ``growth`` spanning ``[min_bound, max_bound]``;
+    a value is counted in the first bucket whose upper bound is >= the
+    value.  Values below ``min_bound`` land in the first bucket, values
+    above ``max_bound`` in the overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min_value",
+                 "max_value")
+
+    def __init__(self, min_bound: float = 1e-6, max_bound: float = 1e7,
+                 growth: float = 2.0):
+        bounds: List[float] = []
+        bound = min_bound
+        while bound < max_bound:
+            bounds.append(bound)
+            bound *= growth
+        bounds.append(max_bound)
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile estimated from bucket upper bounds.
+
+        Returns the upper bound of the bucket holding the nearest-rank
+        sample, clamped to the observed maximum (so the estimate never
+        exceeds a value that was actually recorded).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                bound = (self.bounds[i] if i < len(self.bounds)
+                         else self.max_value)
+                return min(bound, self.max_value)
+        return self.max_value  # pragma: no cover — rank <= count always hits
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max_value if self.max_value is not None else 0.0,
+        }
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class MetricsRegistry:
+    """One queryable home for counters and latency histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(**kwargs)
+        return hist
+
+    def register_counters(self, prefix: str, values: Dict[str, int]) -> None:
+        """Bulk-import plain counter values (e.g. a DLFMMetrics dump)."""
+        for key, value in values.items():
+            counter = self.counter(f"{prefix}.{key}")
+            counter.value = int(value)
+
+    def histograms(self) -> List[Tuple[str, Histogram]]:
+        return sorted(self._histograms.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            doc[name] = counter.value
+        for name, hist in sorted(self._histograms.items()):
+            doc[name] = {k: round(v, 9) if isinstance(v, float) else v
+                         for k, v in hist.summary().items()}
+        return doc

@@ -1,0 +1,132 @@
+"""Compact text reports over a recorded trace.
+
+``render_report(tracer, registry)`` returns the human-readable summary
+printed by ``python -m repro trace``: top lock hotspots (total virtual
+time spent waiting per resource), the phase-2 retry breakdown (attempts,
+outcomes, abort causes) and a per-operation latency table with
+p50/p95/p99/max drawn from the registry's span histograms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import List
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _table(title: str, columns: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    lines.append("")
+    return lines
+
+
+def lock_hotspots(spans: List[dict], top: int = 10) -> List[dict]:
+    """Aggregate ``lock.wait`` spans by resource; sorted by total wait."""
+    agg: dict = {}
+    for span in spans:
+        if span["name"] != "lock.wait":
+            continue
+        resource = str(span["attrs"].get("resource", "?"))
+        entry = agg.setdefault(resource, {
+            "resource": resource, "waits": 0, "total_wait": 0.0,
+            "max_wait": 0.0, "deadlocks": 0, "timeouts": 0,
+        })
+        entry["waits"] += 1
+        entry["total_wait"] += span["duration"]
+        entry["max_wait"] = max(entry["max_wait"], span["duration"])
+        outcome = span["attrs"].get("outcome")
+        if outcome == "deadlock":
+            entry["deadlocks"] += 1
+        elif outcome == "timeout":
+            entry["timeouts"] += 1
+    ranked = sorted(agg.values(),
+                    key=lambda e: (-e["total_wait"], e["resource"]))
+    return ranked[:top]
+
+
+def phase2_breakdown(spans: List[dict]) -> dict:
+    """Summarize ``dlfm.phase2`` attempt spans per verb."""
+    verbs: dict = defaultdict(lambda: {
+        "attempts": 0, "succeeded": 0, "retried": 0,
+        "max_attempt": 0, "causes": defaultdict(int),
+    })
+    for span in spans:
+        if span["name"] != "dlfm.phase2":
+            continue
+        attrs = span["attrs"]
+        entry = verbs[str(attrs.get("verb", "?"))]
+        entry["attempts"] += 1
+        entry["max_attempt"] = max(entry["max_attempt"],
+                                   int(attrs.get("attempt", 1)))
+        if attrs.get("outcome") == "ok":
+            entry["succeeded"] += 1
+        else:
+            entry["retried"] += 1
+            entry["causes"][str(attrs.get("cause", "?"))] += 1
+    return {verb: {**entry, "causes": dict(entry["causes"])}
+            for verb, entry in sorted(verbs.items())}
+
+
+def render_report(tracer, registry) -> str:
+    """Render the full text report for a finished traced run."""
+    spans = tracer.completed_spans()
+    lines: List[str] = []
+
+    counts: dict = defaultdict(int)
+    for span in spans:
+        counts[span["name"]] += 1
+    lines += _table(
+        "Span volume",
+        ["span", "count"],
+        [[name, str(n)] for name, n in sorted(counts.items())])
+
+    hotspots = lock_hotspots(spans)
+    if hotspots:
+        lines += _table(
+            "Top lock hotspots (by total wait, virtual seconds)",
+            ["resource", "waits", "total_wait", "max_wait", "deadlock",
+             "timeout"],
+            [[e["resource"], str(e["waits"]), _fmt(e["total_wait"]),
+              _fmt(e["max_wait"]), str(e["deadlocks"]), str(e["timeouts"])]
+             for e in hotspots])
+
+    phase2 = phase2_breakdown(spans)
+    if phase2:
+        rows = []
+        for verb, entry in phase2.items():
+            causes = ",".join(f"{c}:{n}"
+                              for c, n in sorted(entry["causes"].items()))
+            rows.append([verb, str(entry["attempts"]),
+                         str(entry["succeeded"]), str(entry["retried"]),
+                         str(entry["max_attempt"]), causes or "-"])
+        lines += _table(
+            "Phase-2 retry breakdown",
+            ["verb", "attempts", "ok", "aborted", "max_attempt", "causes"],
+            rows)
+
+    hist_rows = []
+    for name, hist in registry.histograms():
+        if hist.count == 0:
+            continue
+        summary = hist.summary()
+        hist_rows.append([name, str(summary["count"]), _fmt(summary["mean"]),
+                          _fmt(summary["p50"]), _fmt(summary["p95"]),
+                          _fmt(summary["p99"]), _fmt(summary["max"])])
+    if hist_rows:
+        lines += _table(
+            "Per-op latency (virtual seconds)",
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            hist_rows)
+
+    return "\n".join(lines).rstrip() + "\n"

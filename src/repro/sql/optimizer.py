@@ -18,7 +18,7 @@ and benchmarks can assert which plan won and why.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SQLTypeError

@@ -23,8 +23,9 @@ class System:
     def __init__(self, seed: int = 0, servers: tuple[str, ...] = ("fs1",),
                  dlfm_config: Optional[DLFMConfig] = None,
                  host_config: Optional[HostConfig] = None,
-                 dbid: str = "hostdb"):
-        self.sim = Simulator(seed=seed)
+                 dbid: str = "hostdb", tracer=None):
+        self.sim = Simulator(seed=seed, tracer=tracer)
+        self.tracer = self.sim.tracer
         self.archive = ArchiveServer(self.sim)
         self.servers: dict[str, FileServer] = {}
         self.dlfms: dict[str, DLFM] = {}

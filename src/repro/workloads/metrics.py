@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.obs.metrics import Histogram
 
 
 @dataclass
@@ -18,6 +21,7 @@ class WorkloadReport:
     selects: int = 0
     aborts: dict = field(default_factory=dict)   # reason → count
     latencies: list = field(default_factory=list)
+    latency_hist: Histogram = field(default_factory=Histogram)
     # engine-side counters snapshotted at the end:
     deadlocks: int = 0
     lock_timeouts: int = 0
@@ -27,6 +31,10 @@ class WorkloadReport:
 
     def note_abort(self, reason: str) -> None:
         self.aborts[reason] = self.aborts.get(reason, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+        self.latency_hist.record(seconds)
 
     @property
     def minutes(self) -> float:
@@ -45,11 +53,19 @@ class WorkloadReport:
         return sum(self.aborts.values())
 
     def latency_percentile(self, pct: float) -> Optional[float]:
+        """Exact nearest-rank percentile over the recorded latencies.
+
+        Nearest-rank: the smallest sample such that at least ``pct``
+        percent of the samples are <= it — ``ceil(pct/100 * n)`` in
+        one-based ranks. The old truncating ``int(pct/100 * n)`` index
+        over-reported small percentiles (p50 of [1..10] gave the 6th
+        sample) and only returned the maximum by accident of ``min``.
+        """
         if not self.latencies:
             return None
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(pct / 100.0 * len(ordered)))
-        return ordered[index]
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
     def summary(self) -> dict:
         return {
@@ -62,5 +78,7 @@ class WorkloadReport:
             "escalations": self.escalations,
             "commit_retries": self.commit_retries,
             "aborts": dict(self.aborts),
+            "p50_latency_s": self.latency_percentile(50),
             "p95_latency_s": self.latency_percentile(95),
+            "p99_latency_s": self.latency_percentile(99),
         }

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dlfm.config import DLFMConfig
@@ -38,6 +38,8 @@ class SystemTestConfig:
     host_config: Optional[HostConfig] = None
     #: Enable the calibrated service-time model (realistic latencies).
     timed: bool = True
+    #: Optional tracer (repro.obs.Tracer) attached to the simulator.
+    tracer: Optional[object] = None
 
 
 def run_system_test(config: SystemTestConfig) -> WorkloadReport:
@@ -50,7 +52,7 @@ def run_system_test(config: SystemTestConfig) -> WorkloadReport:
     host_config.db.timing = timing
 
     system = System(seed=config.seed, dlfm_config=dlfm_config,
-                    host_config=host_config)
+                    host_config=host_config, tracer=config.tracer)
     report = WorkloadReport(clients=config.clients,
                             virtual_seconds=config.duration)
 
@@ -117,7 +119,7 @@ def run_system_test(config: SystemTestConfig) -> WorkloadReport:
                         "WHERE id = ?", (url, row_id))
                     yield from session.commit()
                     report.updates += 1
-                report.latencies.append(system.sim.now - started)
+                report.record_latency(system.sim.now - started)
             except TransactionAborted as error:
                 report.note_abort(error.reason)
                 try:

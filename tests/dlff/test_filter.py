@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.dlff.filter import DLFM_ADMIN, AccessToken
-from repro.errors import AccessTokenError, LinkedFileError, PermissionDenied
+from repro.dlff.filter import AccessToken
+from repro.errors import AccessTokenError, LinkedFileError
 from repro.kernel import Timeout
 
 from tests.dlfm.conftest import insert_clip, url

@@ -57,6 +57,47 @@ def test_phase2_commit_retries_through_held_locks(media):
     assert dlfm.db.table_rows("dfm_txn") == []
 
 
+def test_phase2_failed_attempt_holds_no_locks_while_waiting(media):
+    """Between attempts the retry loop must have rolled the failed
+    attempt's local transaction back: nothing held, nothing waiting,
+    no transaction left active besides the blocker's. (A leaked lock
+    here would deadlock the very retry that is supposed to recover.)"""
+    dlfm = media.dlfms["fs1"]
+    dlfm.db.config.lock_timeout = 1.0
+    dlfm.config.commit_retry_delay = 4.0
+    txn_id = _prepared_txn(media)
+
+    def scenario():
+        blocker = dlfm.db.session()
+        yield from blocker.execute(
+            "SELECT * FROM dfm_txn WHERE txn_id = ? FOR UPDATE", (txn_id,))
+        blocker_id = blocker.txn.id
+        chan = dlfm.connect()
+        reply = yield from rpc.cast(
+            media.sim, chan, api.Commit(media.host.dbid, txn_id))
+        # attempt 1 times out at ~1 s; sample mid retry-delay, before
+        # attempt 2 starts at ~5 s
+        yield Timeout(2.5)
+        active = [t.id for t in dlfm.db.txns.active]
+        waiting = sorted(dlfm.db.locks._waiting)
+        foreign = {
+            head.resource: holders
+            for head in dlfm.db.locks.heads.values()
+            if (holders := {t for t in head.holders if t != blocker_id})
+        }
+        yield from blocker.rollback()
+        result = yield from rpc.wait_reply(reply)
+        chan.close()
+        return blocker_id, active, waiting, foreign, result
+
+    blocker_id, active, waiting, foreign, result = media.run(scenario())
+    assert active == [blocker_id]   # the failed attempt's txn is gone
+    assert waiting == []            # …and is not parked on any lock
+    assert foreign == {}            # …and holds nothing anywhere
+    assert result["outcome"] == "committed"
+    assert media.dlfms["fs1"].linked_count() == 1
+
+
 def test_phase2_retry_limit_can_bound_the_loop(media):
     """Experiments can bound the retry loop (the paper never does)."""
     dlfm = media.dlfms["fs1"]

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dlff.filter import DLFM_ADMIN
 from repro.errors import PermissionDenied
 from repro.kernel import Timeout
 

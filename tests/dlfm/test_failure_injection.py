@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.errors import CrashedError, DatabaseError
-from repro.kernel import Timeout
+from repro.errors import CrashedError
 
 from tests.dlfm.conftest import insert_clip, url
 

@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 
 from repro.dlff.filter import DLFM_ADMIN
 from repro.dlfm import schema
-from repro.errors import ReproError, TransactionAborted
+from repro.errors import TransactionAborted
 from repro.host import DatalinkSpec, build_url
 from repro.system import System
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dlff.filter import DLFM_ADMIN
-from repro.errors import LinkError, LinkedFileError
+from repro.errors import LinkError
 from repro.fs.filesystem import READ_ONLY
 from repro.kernel import Timeout
 

@@ -1,0 +1,156 @@
+"""Multi-dbid regressions: two host databases sharing ONE DLFM.
+
+Every maintenance path in the DLFM — unlink's delayed-update mark,
+restore's pass-1 release, reconcile's EXCEPT set difference — must scope
+its predicates by dbid, or one host database's utilities eat another's
+metadata. These tests collide filenames and recovery-id orderings across
+dbids on purpose: recovery ids sort by dbid prefix ("otherdb-…" >
+"hostdb-…"), so an unscoped watermark comparison in restore would
+release every other host's links.
+"""
+
+import pytest
+
+from repro.dlfm import api, schema
+from repro.errors import UnlinkError
+from repro.host import DatalinkSpec, HostDB, build_url
+from repro.host.datalink import shadow_column
+from repro.kernel import rpc
+from repro.system import System
+
+
+@pytest.fixture
+def shared():
+    """One System plus a SECOND host database attached to the same DLFM."""
+    system = System(seed=29)
+    other = HostDB(system.sim, "otherdb", system.dlfms)
+
+    def setup():
+        for host in (system.host, other):
+            yield from host.create_datalink_table(
+                "t", [("id", "INT"), ("doc", "TEXT")],
+                {"doc": DatalinkSpec(recovery=False)})
+        for i in range(6):
+            system.create_user_file("fs1", f"/md/f{i}", owner="u")
+
+    system.run(setup())
+    return system, other
+
+
+def link(host, path, row_id=1):
+    """Generator: link ``path`` into ``host``'s table t via SQL."""
+    session = host.session()
+    yield from session.execute(
+        "INSERT INTO t (id, doc) VALUES (?, ?)",
+        (row_id, build_url("fs1", path)))
+    yield from session.commit()
+
+
+def entry_states(dlfm):
+    return {(e[0], e[1]): (e[8], e[9]) for e in dlfm.file_entries()}
+
+
+def test_unlink_from_other_dbid_leaves_entry_alone(shared):
+    """otherdb issuing UnlinkFile for a file hostdb linked must fail —
+    and must not flip hostdb's entry to unlinking (both the existence
+    check and the delayed-update UPDATE are scoped by dbid)."""
+    system, other = shared
+    dlfm = system.dlfms["fs1"]
+
+    def go():
+        yield from link(system.host, "/md/f0")
+        chan = dlfm.connect()
+        yield from rpc.call(system.sim, chan, api.BeginTxn("otherdb", 901))
+        with pytest.raises(UnlinkError):
+            yield from rpc.call(system.sim, chan, api.UnlinkFile(
+                "otherdb", 901, "/md/f0", other.recovery_ids.next()))
+        yield from rpc.call(system.sim, chan, api.Abort("otherdb", 901))
+        chan.close()
+
+    system.run(go())
+    assert entry_states(dlfm) == {
+        ("/md/f0", "hostdb"): (schema.ST_LINKED, schema.LINKED_FLAG)}
+
+
+def test_restore_only_releases_own_post_backup_links(shared):
+    """hostdb restores to a backup taken before any links. Both hosts
+    linked files after that watermark; only hostdb's link may be
+    released — otherdb's recovery ids compare greater than the watermark
+    string, so an unscoped pass-1 would release its file too."""
+    system, other = shared
+    dlfm = system.dlfms["fs1"]
+
+    def go():
+        backup_id = yield from system.backup()
+        yield from link(system.host, "/md/f1")
+        yield from link(other, "/md/f2")
+        result = yield from system.restore(backup_id)
+        return result
+
+    result = system.run(go())
+    assert result["fs1"] == {"restored": 0, "released": 1}
+    entries = entry_states(dlfm)
+    assert ("/md/f1", "hostdb") not in entries
+    assert entries[("/md/f2", "otherdb")] == (schema.ST_LINKED,
+                                              schema.LINKED_FLAG)
+    # the released file went back to its owner; otherdb's file is still
+    # under database control (owned by the DLFM admin user)
+    fs = system.servers["fs1"].fs
+    assert fs.stat("/md/f1").owner == "u"
+    assert fs.stat("/md/f2").owner != "u"
+
+
+def test_reconcile_reports_conflict_for_file_linked_by_other_dbid(shared):
+    """hostdb's table references a file that otherdb currently has
+    linked (the unique (filename, check_flag) slot is taken). Reconcile
+    must report the conflict instead of crashing on the duplicate key —
+    and must not touch otherdb's entry."""
+    system, other = shared
+    dlfm = system.dlfms["fs1"]
+
+    def go():
+        yield from link(other, "/md/f3")
+        # manufacture the skew: hostdb references the same file with no
+        # dfm_file entry of its own (e.g. restored from an old image)
+        plain = system.host.db.session()
+        yield from plain.execute(
+            f"INSERT INTO t (id, doc, {shadow_column('doc')}) "
+            f"VALUES (?, ?, ?)",
+            (7, build_url("fs1", "/md/f3"),
+             system.host.recovery_ids.next()))
+        yield from plain.commit()
+        return (yield from system.reconcile())
+
+    result = system.run(go())
+    assert result["fs1"]["conflicts"] == ["/md/f3"]
+    assert result["fs1"]["relinked"] == 0
+    assert result["fs1"]["nulled"] == 0
+    assert entry_states(dlfm) == {
+        ("/md/f3", "otherdb"): (schema.ST_LINKED, schema.LINKED_FLAG)}
+
+
+def test_reconcile_relinks_own_entry_despite_other_dbid_rows(shared):
+    """A missing hostdb entry is relinked even though otherdb has linked
+    rows of its own — and reconcile for hostdb never counts otherdb's
+    entries as orphans."""
+    system, other = shared
+    dlfm = system.dlfms["fs1"]
+
+    def go():
+        yield from link(system.host, "/md/f4")
+        yield from link(other, "/md/f5")
+        # wipe hostdb's DLFM entry behind everyone's back
+        dlfm_session = dlfm.db.session()
+        yield from dlfm_session.execute(
+            "DELETE FROM dfm_file WHERE filename = ?", ("/md/f4",))
+        yield from dlfm_session.commit()
+        return (yield from system.reconcile())
+
+    result = system.run(go())
+    assert result["fs1"] == {"relinked": 1, "removed": 0, "dangling": [],
+                             "conflicts": [], "nulled": 0}
+    entries = entry_states(dlfm)
+    assert entries[("/md/f4", "hostdb")] == (schema.ST_LINKED,
+                                             schema.LINKED_FLAG)
+    assert entries[("/md/f5", "otherdb")] == (schema.ST_LINKED,
+                                              schema.LINKED_FLAG)

@@ -58,9 +58,7 @@ def test_agents_serve_their_own_connections_independently(media):
 def test_agent_busy_blocks_next_sender(media):
     """While a child agent processes one request, the next send on that
     connection blocks (rendezvous) — the mechanism behind E6."""
-    from repro.kernel import Timeout
     dlfm = media.dlfms["fs1"]
-    timeline = {}
 
     def slow_and_fast():
         chan = dlfm.connect()

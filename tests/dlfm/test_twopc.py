@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dlfm import api
-from repro.errors import TransactionAborted, TwoPCProtocolError
+from repro.errors import TwoPCProtocolError
 from repro.kernel import Timeout, rpc
 
 from tests.dlfm.conftest import insert_clip, url
@@ -96,7 +96,7 @@ def test_dlfm_crash_after_prepare_leaves_indoubt_then_host_resolves(media):
         return txn_id
 
     txn_id = media.run(prepare_and_crash())
-    summary = dlfm.restart()
+    dlfm.restart()
     # the prepared txn survived into restart as indoubt
     def list_indoubt():
         chan = dlfm.connect()
@@ -118,7 +118,6 @@ def test_dlfm_crash_after_prepare_leaves_indoubt_then_host_resolves(media):
 
 def test_prepared_txn_without_decision_row_aborts(media):
     """Presumed abort: host crashed before committing its decision."""
-    dlfm = media.dlfms["fs1"]
     host = media.host
 
     def prepare_only():
@@ -145,7 +144,6 @@ def test_phase2_abort_restores_unlink_and_drops_new_links(media):
     metadata (the paper's 'rolling back transaction update after local
     database commit')."""
     host = media.host
-    dlfm = media.dlfms["fs1"]
 
     def setup():
         session = media.session()

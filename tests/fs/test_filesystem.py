@@ -6,7 +6,6 @@ from repro.archive import ArchiveServer
 from repro.errors import (ArchiveError, FileExists, FileNotFound,
                           PermissionDenied)
 from repro.fs.filesystem import READ_ONLY, READ_WRITE, FileSystem
-from repro.kernel import Simulator
 
 
 @pytest.fixture

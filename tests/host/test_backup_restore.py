@@ -1,11 +1,9 @@
 """Coordinated backup / point-in-time restore / reconcile (§3.4, E10)."""
 
-import pytest
 
 from repro.dlff.filter import DLFM_ADMIN
-from repro.kernel import Timeout
 
-from tests.dlfm.conftest import insert_clip, url
+from tests.dlfm.conftest import insert_clip
 
 
 def count_clips(media):
@@ -199,4 +197,4 @@ def test_reconcile_clean_system_is_noop(media):
 
     result = media.run(go())
     assert result["fs1"] == {"relinked": 0, "removed": 0, "dangling": [],
-                             "nulled": 0}
+                             "conflicts": [], "nulled": 0}

@@ -6,7 +6,6 @@ from repro.dlff.filter import DLFM_ADMIN
 from repro.dlfm import schema
 from repro.host import DatalinkSpec, build_url
 from repro.host.load import LoadUtility
-from repro.kernel import Timeout
 from repro.system import System
 
 

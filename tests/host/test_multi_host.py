@@ -8,7 +8,7 @@ purpose.
 
 import pytest
 
-from repro.errors import LinkError, UnlinkError
+from repro.errors import LinkError
 from repro.host import DatalinkSpec, HostDB, build_url
 from repro.system import System
 
@@ -118,7 +118,6 @@ def test_indoubt_resolution_is_per_host(shared):
     from repro.dlfm import api
     from repro.host.indoubt import resolve_indoubts
     system, other = shared
-    dlfm = system.dlfms["fs1"]
 
     def phase1(host, path):
         session = host.session()

@@ -148,4 +148,4 @@ def test_reconcile_covers_all_servers(twin):
     result = twin.run(go())
     assert result["fs2"]["relinked"] == 1
     assert result["fs1"] == {"relinked": 0, "removed": 0, "dangling": [],
-                             "nulled": 0}
+                             "conflicts": [], "nulled": 0}

@@ -4,9 +4,8 @@ These tests exercise the exact engine mechanics that the paper's lessons
 (and our experiments E3/E4/E5) are built on.
 """
 
-import pytest
 
-from repro.errors import DeadlockError, LockTimeoutError, TransactionAborted
+from repro.errors import TransactionAborted
 from repro.kernel import Simulator, Timeout
 from repro.minidb import Database, DBConfig
 

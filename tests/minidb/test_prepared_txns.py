@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DatabaseError, LockTimeoutError, TransactionAborted
+from repro.errors import DatabaseError, TransactionAborted
 from repro.kernel import Simulator, Timeout
 from repro.minidb import Database, DBConfig
 from repro.minidb.txn import TxnState

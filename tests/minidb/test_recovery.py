@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CrashedError, LogFullError, TransactionAborted
+from repro.errors import CrashedError, LogFullError
 from repro.kernel import Simulator
 from repro.minidb import Database, DBConfig
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DatabaseError
-from repro.minidb.storage import BufferPool, Disk, Heap, HeapPage
+from repro.minidb.storage import BufferPool, Disk, Heap
 
 
 def make_heap(capacity=100, rows_per_page=4):

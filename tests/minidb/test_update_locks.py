@@ -8,7 +8,6 @@ U instead: the second reader-for-update blocks immediately, writers
 serialize, and plain readers are still admitted alongside the U holder.
 """
 
-import pytest
 
 from repro.errors import TransactionAborted
 from repro.kernel import Simulator, Timeout

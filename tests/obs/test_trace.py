@@ -1,0 +1,129 @@
+"""Tracer mechanics: null-tracer cost model, span nesting, determinism."""
+
+from repro.kernel.sim import Simulator, Timeout
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs.report import render_report
+from repro.obs.trace import _NULL_SPAN
+
+
+def test_simulator_defaults_to_the_null_tracer():
+    sim = Simulator(seed=1)
+    assert sim.tracer is NULL_TRACER
+    assert sim.tracer.enabled is False
+    # span() allocates nothing: the same shared instance every time
+    span = sim.tracer.span("x", a=1)
+    assert span is _NULL_SPAN
+    with span as s:
+        s.set(b=2)  # all no-ops
+    sim.tracer.event("y", c=3)
+
+
+def test_spans_nest_per_process_with_virtual_timestamps():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    sim = Simulator(seed=1, tracer=tracer)
+
+    def worker():
+        with tracer.span("outer", k="v") as outer:
+            yield Timeout(2.0)
+            with tracer.span("inner"):
+                yield Timeout(1.0)
+            outer.set(rows=3)
+
+    sim.run_process(worker(), "worker")
+    spans = {s["name"]: s for s in tracer.completed_spans()}
+    assert spans["inner"]["parent"] == spans["outer"]["span"]
+    assert spans["outer"]["parent"] is None
+    assert spans["outer"]["process"] == "worker"
+    assert spans["outer"]["start"] == 0.0
+    assert spans["outer"]["duration"] == 3.0
+    assert spans["inner"]["start"] == 2.0
+    assert spans["inner"]["duration"] == 1.0
+    assert spans["outer"]["attrs"] == {"k": "v", "rows": 3}
+    # durations landed in the registry histograms
+    assert registry.histogram("span.outer").count == 1
+    assert registry.histogram("span.inner").count == 1
+
+
+def test_sibling_processes_do_not_nest_into_each_other():
+    tracer = Tracer()
+    sim = Simulator(seed=1, tracer=tracer)
+
+    def one():
+        with tracer.span("a"):
+            yield Timeout(5.0)
+
+    def two():
+        yield Timeout(1.0)
+        with tracer.span("b"):
+            yield Timeout(1.0)
+
+    def root():
+        pa = sim.spawn(one(), "p-one")
+        pb = sim.spawn(two(), "p-two")
+        yield from pa.join()
+        yield from pb.join()
+
+    sim.run_process(root(), "root")
+    spans = {s["name"]: s for s in tracer.completed_spans()}
+    # "b" runs entirely inside "a"'s lifetime but in a different process,
+    # so it must NOT be parented under "a"
+    assert spans["b"]["parent"] is None
+    assert spans["b"]["process"] == "p-two"
+
+
+def test_exception_unwinding_records_the_error():
+    tracer = Tracer()
+    sim = Simulator(seed=1, tracer=tracer)
+
+    def worker():
+        try:
+            with tracer.span("fails"):
+                yield Timeout(1.0)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+
+    sim.run_process(worker(), "worker")
+    (span,) = tracer.completed_spans()
+    assert span["attrs"]["error"] == "ValueError"
+
+
+def test_same_run_produces_byte_identical_json():
+    def run():
+        tracer = Tracer()
+        sim = Simulator(seed=5, tracer=tracer)
+
+        def worker():
+            with tracer.span("op", n=1):
+                yield Timeout(sim.stream("t").random())
+            tracer.event("tick", at=sim.now)
+
+        sim.run_process(worker(), "worker")
+        return tracer.to_json(scenario="unit", seed=5)
+
+    assert run() == run()
+
+
+def test_render_report_lists_spans_and_histograms():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    sim = Simulator(seed=1, tracer=tracer)
+
+    def worker():
+        for _ in range(3):
+            with tracer.span("lock.wait", resource="('row', 't', 1)",
+                             mode="X") as span:
+                yield Timeout(2.0)
+                span.set(outcome="granted")
+        with tracer.span("dlfm.phase2", verb="commit", attempt=1) as span:
+            yield Timeout(1.0)
+            span.set(outcome="ok")
+
+    sim.run_process(worker(), "worker")
+    registry.counter("dlfm.fs1.commits").value = 1
+    text = render_report(tracer, registry)
+    assert "lock.wait" in text
+    assert "('row', 't', 1)" in text
+    assert "dlfm.phase2" in text
+    assert "span.lock.wait" in text

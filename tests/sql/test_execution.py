@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import (DuplicateKeyError, SQLTypeError, TransactionAborted)
-from repro.kernel import Simulator
 from repro.minidb import Database, DBConfig
 
 from tests.conftest import setup_files_table

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.kernel import Simulator
 from repro.minidb import Database, DBConfig
 
 

@@ -37,3 +37,31 @@ def test_systemtest_untuned_flag(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_trace_commit_retry_scenario(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "commit-retry", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "commit_retries" in out
+    assert "Phase-2 retry breakdown" in out
+    assert "Top lock hotspots" in out
+    assert "span.dlfm.phase2" in out
+    data = out_path.read_text()
+    assert data.startswith('{"events":[') or data.startswith('{"meta"')
+    assert '"dlfm.phase2"' in data
+
+
+def test_trace_is_byte_deterministic(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["trace", "commit-retry", "--seed", "11",
+                 "--json", str(a)]) == 0
+    assert main(["trace", "commit-retry", "--seed", "11",
+                 "--json", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_trace_unknown_scenario_fails(capsys):
+    assert main(["trace", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

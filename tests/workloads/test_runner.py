@@ -1,6 +1,5 @@
 """Workload machinery: metrics math and a small end-to-end run."""
 
-import pytest
 
 from repro.workloads import SystemTestConfig, run_system_test
 from repro.workloads.metrics import WorkloadReport
@@ -25,12 +24,38 @@ def test_abort_bookkeeping():
 
 
 def test_latency_percentiles():
+    # Nearest-rank over 0..99: the 50th-ranked sample is 49.0 (one-based
+    # rank ceil(0.5*100)=50 → index 49), not 50.0 as the old truncating
+    # index claimed.
     report = WorkloadReport(clients=1, virtual_seconds=60,
                             latencies=[float(i) for i in range(100)])
-    assert report.latency_percentile(50) == 50.0
-    assert report.latency_percentile(95) == 95.0
+    assert report.latency_percentile(50) == 49.0
+    assert report.latency_percentile(95) == 94.0
+    assert report.latency_percentile(100) == 99.0
     assert WorkloadReport(clients=1, virtual_seconds=60).latency_percentile(
         95) is None
+
+
+def test_latency_percentile_boundaries():
+    # n=1: every percentile is the single sample.
+    one = WorkloadReport(clients=1, virtual_seconds=60, latencies=[3.5])
+    assert one.latency_percentile(1) == 3.5
+    assert one.latency_percentile(50) == 3.5
+    assert one.latency_percentile(99) == 3.5
+    # n=10: nearest-rank p95 = rank ceil(9.5)=10 → the maximum, which
+    # the truncating version only returned by accident of min().
+    ten = WorkloadReport(clients=1, virtual_seconds=60,
+                         latencies=[float(i) for i in range(1, 11)])
+    assert ten.latency_percentile(95) == 10.0
+    assert ten.latency_percentile(90) == 9.0
+    assert ten.latency_percentile(50) == 5.0
+    assert ten.latency_percentile(10) == 1.0
+    # n=4: small lists must not under-report (old code: p50 → index 2).
+    four = WorkloadReport(clients=1, virtual_seconds=60,
+                          latencies=[1.0, 2.0, 3.0, 4.0])
+    assert four.latency_percentile(50) == 2.0
+    assert four.latency_percentile(75) == 3.0
+    assert four.latency_percentile(76) == 4.0
 
 
 def test_summary_fields():
