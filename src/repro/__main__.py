@@ -7,6 +7,9 @@ Commands:
 * ``trace`` — run a traced scenario, print the observability report
   (lock hotspots, phase-2 retries, latency percentiles); ``--json`` dumps
   the raw span events (deterministic: same seed → identical bytes).
+* ``bench`` — run the fast-path performance harness (RPC batching + WAL
+  group commit) and write ``BENCH_PERF.json``; ``--check`` enforces the
+  acceptance gates, ``--quick`` is the CI scale.
 * ``experiments`` — list every experiment and the command regenerating it.
 * ``paper`` — one-paragraph description of what this reproduces.
 """
@@ -95,6 +98,52 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro.bench import BenchConfig, check, run_bench
+
+    if args.quick:
+        cfg = BenchConfig.quick_config(seed=args.seed)
+    else:
+        cfg = BenchConfig(seed=args.seed)
+    if args.links is not None:
+        cfg.links = args.links
+    if args.clients is not None:
+        cfg.clients = args.clients
+    if args.txns is not None:
+        cfg.txns = args.txns
+
+    # Carry the trajectory forward: each PR's entry is keyed by label, so
+    # re-running replaces this PR's point but keeps earlier ones.
+    history = None
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as prev:
+                history = json.load(prev).get("history")
+        except (OSError, ValueError):
+            history = None
+
+    doc = run_bench(cfg, history=history)
+    with open(args.out, "w") as out:
+        json.dump(doc, out, indent=2, sort_keys=True)
+        out.write("\n")
+
+    print(f"wrote {args.out}")
+    print(f"headline: {doc['headline']}")
+    for arm, stats in doc["bulk"]["arms"].items():
+        print(f"  {arm:<13} rpcs={stats['rpcs']:<6} "
+              f"wal_forces={stats['wal_forces']:<4} "
+              f"p95_txn={stats['p95_txn_s']}s")
+    failures = check(doc)
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    if args.check and failures:
+        return 1
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     width = max(len(desc) for _, desc, _ in EXPERIMENTS)
     for exp_id, desc, cmd in EXPERIMENTS:
@@ -129,6 +178,22 @@ def main(argv=None) -> int:
     tr.add_argument("--json", metavar="PATH",
                     help="also dump the raw trace events as JSON")
     tr.set_defaults(fn=cmd_trace)
+
+    bench = sub.add_parser("bench", help="run the fast-path perf harness")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--links", type=int, default=None,
+                       help="links per transaction (default 100)")
+    bench.add_argument("--clients", type=int, default=None,
+                       help="concurrent bulk clients (default 8)")
+    bench.add_argument("--txns", type=int, default=None,
+                       help="link transactions per client (default 2)")
+    bench.add_argument("--out", default="BENCH_PERF.json",
+                       help="output document (history is carried forward)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI scale: shrink the E1 workload")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero if an acceptance gate fails")
+    bench.set_defaults(fn=cmd_bench)
 
     exps = sub.add_parser("experiments", help="list experiment harnesses")
     exps.set_defaults(fn=cmd_experiments)

@@ -1,0 +1,8 @@
+"""Performance harness: ``python -m repro bench`` (DESIGN.md §9)."""
+
+from repro.bench.harness import (ARMS, BenchConfig, check, run_bench,
+                                 run_bulk_arm, run_e1_arm, run_e6_sentinel,
+                                 run_e8_sentinel)
+
+__all__ = ["ARMS", "BenchConfig", "check", "run_bench", "run_bulk_arm",
+           "run_e1_arm", "run_e6_sentinel", "run_e8_sentinel"]

@@ -44,10 +44,13 @@ class ChildAgent:
 
     def _dispatch(self, req):
         self.requests += 1
+        self.dlfm.metrics.rpcs += 1
         yield from self.dlfm._charge_rpc()
 
         if isinstance(req, api.BeginTxn):
             return self._begin(req)
+        if isinstance(req, api.Batch):
+            return (yield from self._batch(req))
         if isinstance(req, (api.LinkFile, api.UnlinkFile, api.RegisterGroup,
                             api.DeleteGroup)):
             return (yield from self._forward(req))
@@ -110,6 +113,50 @@ class ChildAgent:
             # roll back the full transaction (§3.2).
             self.failed = True
             raise
+
+    def _batch(self, req: api.Batch):
+        """One rendezvous, many ops: the RPC-batching fast path.
+
+        Implicit BeginTxn on first contact, the ops in order, optionally
+        phase-1 Prepare piggybacked after the last one. Ops are
+        all-or-nothing within the batch: a statement-level failure at op k
+        compensates ops 0..k-1 (reverse order, ``in_backout``) and
+        re-raises, leaving the local transaction as if the batch never
+        arrived — the host can still do statement-level backout or retry.
+        """
+        if self.current is None:
+            self._begin(api.BeginTxn(req.dbid, req.txn_id))
+        self.dlfm.metrics.batches += 1
+        self.dlfm.metrics.batched_ops += len(req.ops)
+        results = []
+        applied = []
+        try:
+            for op in req.ops:
+                results.append((yield from self._forward(op)))
+                applied.append(op)
+        except TransactionAborted:
+            raise  # local txn already rolled back; nothing to compensate
+        except Exception:
+            for op in reversed(applied):
+                yield from self._compensate(op)
+            raise
+        reply = {"results": results}
+        if req.prepare:
+            reply["prepare"] = yield from self._prepare(
+                api.Prepare(req.dbid, req.txn_id))
+        return reply
+
+    def _compensate(self, op):
+        """Undo one applied batch op inside the still-open local txn."""
+        from dataclasses import replace
+        if isinstance(op, (api.LinkFile, api.UnlinkFile, api.DeleteGroup)):
+            yield from self._forward(replace(op, in_backout=True))
+        elif isinstance(op, api.RegisterGroup):
+            # RegisterGroup has no in_backout form (it is never issued
+            # from statement scope in the paper); delete the row we made.
+            yield from self.session.execute(
+                "DELETE FROM dfm_group WHERE grp_id = ? AND dbid = ?",
+                (op.grp_id, op.dbid))
 
     def _prepare(self, req: api.Prepare):
         self._check_txn(req)

@@ -63,6 +63,33 @@ class DeleteGroup:
 
 
 @dataclass(frozen=True)
+class Batch:
+    """Vectored request: an ordered list of forward operations shipped in
+    ONE host↔DLFM rendezvous (the RPC-batching fast path).
+
+    ``ops`` may hold :class:`LinkFile`, :class:`UnlinkFile`,
+    :class:`RegisterGroup` and :class:`DeleteGroup` requests, applied in
+    order inside the agent's current local transaction. A Batch opens the
+    sub-transaction implicitly (no separate BeginTxn round trip) and, with
+    ``prepare`` set, runs phase-1 Prepare after the last op — the classic
+    2PC piggyback that lets an N-link transaction finish in two messages
+    (final Batch + phase-2 Commit) instead of N+3.
+
+    Failure semantics: ops are all-or-nothing *within the batch*. If op k
+    raises a statement-level error the agent compensates ops 0..k-1 with
+    ``in_backout`` requests (§3.2) before re-raising, so the local
+    transaction is exactly as it was before the batch arrived. A severe
+    error (deadlock/timeout/log-full) rolls back the whole local
+    transaction, as ever.
+    """
+
+    dbid: str
+    txn_id: int
+    ops: tuple  # ordered tuple of forward requests
+    prepare: bool = False
+
+
+@dataclass(frozen=True)
 class CommitPiece:
     """Long-running utility (load/reconcile) checkpoint: commit the work
     done so far LOCALLY while the host transaction stays open (§4).

@@ -42,6 +42,11 @@ from repro.sql.parser import parse as parse_sql
 
 @dataclass
 class DLFMMetrics:
+    #: Envelopes received by child agents (one per host↔DLFM rendezvous).
+    rpcs: int = 0
+    #: Vectored envelopes and the logical ops they carried.
+    batches: int = 0
+    batched_ops: int = 0
     links: int = 0
     unlinks: int = 0
     link_errors: int = 0
@@ -206,14 +211,18 @@ class DLFM:
         # Same-transaction unlink+relink: the file is still under database
         # control, so a live stat would record the DLFM admin user as the
         # "original" owner. Inherit the true originals from the pending
-        # unlinking entry instead.
-        pending = yield from session.query_one(
-            "SELECT orig_owner, orig_group, orig_mode FROM dfm_file "
-            "WHERE filename = ? AND dbid = ? AND state = ?",
+        # unlinking entry instead. Repeated unlink+relink in one
+        # transaction leaves SEVERAL unlinking entries for the filename
+        # (each with its own unlink recovery id); they all carry the same
+        # inherited originals, so take the most recent deterministically.
+        pending = yield from session.execute(
+            "SELECT orig_owner, orig_group, orig_mode, unlink_recovery_id "
+            "FROM dfm_file WHERE filename = ? AND dbid = ? AND state = ?",
             (req.path, req.dbid, schema.ST_UNLINKING))
-        if pending is not None:
-            info = {"owner": pending[0], "group": pending[1],
-                    "mode": pending[2]}
+        if pending.rows:
+            latest = max(pending.rows, key=lambda row: row[3])
+            info = {"owner": latest[0], "group": latest[1],
+                    "mode": latest[2]}
         # Check 3 + insert, made atomic by the unique (filename,
         # check_flag) index: a concurrent linker loses with a duplicate.
         from repro.errors import DuplicateKeyError

@@ -29,6 +29,16 @@ class HostConfig:
     #: The paper's lesson says this MUST be True; False reproduces the
     #: distributed deadlock of experiment E6.
     sync_commit: bool = True
+    #: RPC batching fast path: buffer the transaction's link/unlink/
+    #: delete-group requests per server and ship them as ordered
+    #: :class:`~repro.dlfm.api.Batch` envelopes, flushed at COMMIT with
+    #: phase-1 Prepare piggybacked on the final batch. Cuts an N-link
+    #: transaction from N+3 host↔DLFM messages to 2. Off by default: the
+    #: paper-faithful experiments count (and block on) individual
+    #: messages, and with batching ON a DLFM statement error surfaces at
+    #: the commit-time flush (aborting the transaction) instead of at the
+    #: originating statement (statement-level backout). See DESIGN.md §9.
+    batch_datalinks: bool = False
     token_expiry: float = 600.0
     indoubt_poll_period: float = 5.0
 
@@ -39,6 +49,8 @@ class HostMetrics:
     rollbacks: int = 0
     links_sent: int = 0
     unlinks_sent: int = 0
+    batches_sent: int = 0
+    batched_ops_sent: int = 0
     statement_backouts: int = 0
     prepare_failures: int = 0
     indoubt_commits: int = 0

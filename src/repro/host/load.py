@@ -36,6 +36,7 @@ class LoadStats:
     skipped: int = 0
     rows_inserted: int = 0
     pieces: int = 0
+    batches: int = 0
     resumed: bool = False
 
 
@@ -115,8 +116,21 @@ class LoadUtility:
     def _load_piece_inner(self, session):
         piece = self.entries[self._position:
                              self._position + self.piece_size]
-        touched_servers = set()
         grp_id = self.host.group_ids[(self.table, self.column)]
+        if self.host.config.batch_datalinks:
+            touched = yield from self._link_piece_batched(session, piece,
+                                                          grp_id)
+        else:
+            touched = yield from self._link_piece(session, piece, grp_id)
+        yield from session.commit()  # host-side piece is durable
+        for server in sorted(touched):
+            yield from self._call(server, api.CommitPiece(
+                self.host.dbid, self._utility_txn.id))
+        self.stats.pieces += 1
+        self._position += len(piece)
+
+    def _link_piece(self, session, piece, grp_id):
+        touched_servers = set()
         for values, url in piece:
             server, path = parse_url(url)
             recovery_id = self.host.recovery_ids.next()
@@ -134,33 +148,78 @@ class LoadUtility:
                 # piece already carries it. Nothing to redo.
                 self.stats.skipped += 1
                 continue
-            # Idempotent host insert: a crash between the host piece
-            # commit and the DLFM piece commit leaves the row behind
-            # while the link was redone with a fresh recovery id — keep
-            # the shadow column in sync either way.
-            existing = yield from session.execute(
-                f"SELECT COUNT(*) FROM {self.table} WHERE "
-                f"{self.column} = ?", (url,))
-            if existing.scalar() == 0:
-                columns = list(values) + [self.column,
-                                          shadow_column(self.column)]
-                placeholders = ", ".join("?" for _ in columns)
-                yield from session.execute(
-                    f"INSERT INTO {self.table} ({', '.join(columns)}) "
-                    f"VALUES ({placeholders})",
-                    tuple(values.values()) + (url, recovery_id))
-                self.stats.rows_inserted += 1
-            else:
-                yield from session.execute(
-                    f"UPDATE {self.table} SET "
-                    f"{shadow_column(self.column)} = ? WHERE "
-                    f"{self.column} = ?", (recovery_id, url))
-        yield from session.commit()  # host-side piece is durable
-        for server in sorted(touched_servers):
-            yield from self._call(server, api.CommitPiece(
-                self.host.dbid, self._utility_txn.id))
-        self.stats.pieces += 1
-        self._position += len(piece)
+            yield from self._upsert_row(session, values, url, recovery_id)
+        return touched_servers
+
+    def _link_piece_batched(self, session, piece, grp_id):
+        """Fast path: the piece's links travel as ONE api.Batch per
+        server instead of one rendezvous per file. The host piece commit
+        still precedes CommitPiece, so the crash-consistency ordering of
+        recovery ids is unchanged."""
+        per_server: dict[str, list] = {}
+        for values, url in piece:
+            server, path = parse_url(url)
+            recovery_id = self.host.recovery_ids.next()
+            req = api.LinkFile(
+                self.host.dbid, self._utility_txn.id, path, grp_id,
+                recovery_id, access_ctl=self.spec.access_control,
+                recovery=self.spec.recovery_flag)
+            per_server.setdefault(server, []).append(
+                (req, values, url, recovery_id))
+        touched_servers = set()
+        for server in sorted(per_server):
+            entries = per_server[server]
+            chan = self._channel(server)
+            self._begun.add(server)  # a Batch begins the txn implicitly
+            try:
+                yield from rpc.call(self.host.sim, chan, api.Batch(
+                    self.host.dbid, self._utility_txn.id,
+                    tuple(req for req, _, _, _ in entries)))
+                self.stats.linked += len(entries)
+                self.stats.batches += 1
+                linked = entries
+            except LinkError:
+                # Resume case: some file of the batch is already linked
+                # by a pre-crash piece. The agent compensated the batch
+                # whole; redo this server's links one at a time so skips
+                # are counted exactly as on the slow path.
+                linked = []
+                for entry in entries:
+                    try:
+                        yield from self._call(server, entry[0])
+                        self.stats.linked += 1
+                        linked.append(entry)
+                    except LinkError:
+                        self.stats.skipped += 1
+            if linked:
+                touched_servers.add(server)
+            for _, values, url, recovery_id in linked:
+                yield from self._upsert_row(session, values, url,
+                                            recovery_id)
+        return touched_servers
+
+    def _upsert_row(self, session, values, url, recovery_id):
+        # Idempotent host insert: a crash between the host piece commit
+        # and the DLFM piece commit leaves the row behind while the link
+        # was redone with a fresh recovery id — keep the shadow column in
+        # sync either way.
+        existing = yield from session.execute(
+            f"SELECT COUNT(*) FROM {self.table} WHERE "
+            f"{self.column} = ?", (url,))
+        if existing.scalar() == 0:
+            columns = list(values) + [self.column,
+                                      shadow_column(self.column)]
+            placeholders = ", ".join("?" for _ in columns)
+            yield from session.execute(
+                f"INSERT INTO {self.table} ({', '.join(columns)}) "
+                f"VALUES ({placeholders})",
+                tuple(values.values()) + (url, recovery_id))
+            self.stats.rows_inserted += 1
+        else:
+            yield from session.execute(
+                f"UPDATE {self.table} SET "
+                f"{shadow_column(self.column)} = ? WHERE "
+                f"{self.column} = ?", (recovery_id, url))
 
     def _finish(self):
         for server in sorted(getattr(self, "_begun", set())):

@@ -45,6 +45,10 @@ class HostSession:
         self.participants: set[str] = set()
         self.txn_id: Optional[int] = None
         self.pending_drops: list[str] = []
+        #: RPC-batching fast path (config.batch_datalinks): ordered
+        #: per-server op buffers, shipped as one api.Batch per server at
+        #: commit with Prepare piggybacked on the final envelope.
+        self._buffered: dict[str, list] = {}
         self._stmt_seq = itertools.count(1)
         self._parse_cache: dict[str, ast.Statement] = {}
 
@@ -85,6 +89,38 @@ class HostSession:
         chan = self._channel(server)
         result = yield from rpc.call(self.sim, chan, req)
         return result
+
+    def _send_batch(self, server: str, txn_id: int, ops, prepare=False):
+        """Generator: ship buffered ops as ONE api.Batch rendezvous. The
+        batch opens the sub-transaction implicitly — no BeginTxn trip."""
+        chan = self._channel(server)
+        # Register the participant BEFORE the call, like the classic
+        # path does at BeginTxn: even a failed Batch leaves an implicit
+        # local transaction on the server that our Abort must roll back
+        # (presumed abort makes this harmless if the batch never arrived).
+        self.participants.add(server)
+        result = yield from rpc.call(self.sim, chan, api.Batch(
+            self.host.dbid, txn_id, tuple(ops), prepare=prepare))
+        self.host.metrics.batches_sent += 1
+        self.host.metrics.batched_ops_sent += len(ops)
+        for op in ops:
+            if isinstance(op, api.UnlinkFile):
+                self.host.metrics.unlinks_sent += 1
+            elif isinstance(op, api.LinkFile):
+                self.host.metrics.links_sent += 1
+        return result
+
+    def flush_datalinks(self):
+        """Generator: ship all buffered datalink ops now (one Batch per
+        server) without waiting for commit — a mid-transaction sync
+        point. Errors follow batch semantics: the failing server's local
+        transaction is as if the batch never arrived, and the caller
+        decides whether to abort."""
+        txn_id = self._ensure_txn()
+        for server in sorted(self._buffered):
+            ops = self._buffered.pop(server)
+            if ops:
+                yield from self._send_batch(server, txn_id, ops)
 
     # ------------------------------------------------------------------ execute
 
@@ -244,6 +280,9 @@ class HostSession:
         """Execute the host statement + its datalink ops atomically at
         statement level: on failure, compensate completed DLFM ops with
         in_backout requests and roll the host statement back (§3.2)."""
+        if self.host.config.batch_datalinks:
+            return (yield from self._run_buffered(sql, params, links,
+                                                  unlinks))
         savepoint = f"dlstmt-{next(self._stmt_seq)}"
         self.session.savepoint(savepoint)
         done = []
@@ -269,6 +308,24 @@ class HostSession:
             yield from self._statement_backout(savepoint, done)
             raise
 
+    def _run_buffered(self, sql: str, params: tuple, links, unlinks):
+        """Batching fast path: the statement's datalink ops are buffered
+        per server (unlinks before links, preserving the unlink+relink
+        order) only AFTER the host statement succeeds, so a failing
+        statement has nothing to compensate — no ops were sent yet. The
+        buffers travel at commit (or flush_datalinks) as one Batch per
+        server."""
+        try:
+            count = yield from self.session.execute(sql, params)
+        except TransactionAborted:
+            yield from self._abort_everything()
+            raise
+        for server, req in unlinks:
+            self._buffered.setdefault(server, []).append(req)
+        for server, req in links:
+            self._buffered.setdefault(server, []).append(req)
+        return count
+
     def _statement_backout(self, savepoint: str, done):
         self.host.metrics.statement_backouts += 1
         try:
@@ -284,6 +341,7 @@ class HostSession:
 
     def _abort_everything(self):
         txn_id = self.txn_id
+        self._buffered.clear()   # unflushed ops never reached any DLFM
         for server in sorted(self.participants):
             try:
                 yield from self._send_control(
@@ -298,6 +356,7 @@ class HostSession:
         self.participants = set()
         self.txn_id = None
         self.pending_drops = []
+        self._buffered = {}
 
     # ------------------------------------------------------------------ DDL with datalinks
 
@@ -312,18 +371,23 @@ class HostSession:
         for col in specs:
             grp_id = self.host.group_ids[(name, col)]
             for server in sorted(self.host.dlfms):
-                yield from self.dlfm_call(server, api.DeleteGroup(
-                    self.host.dbid, txn_id, grp_id))
+                req = api.DeleteGroup(self.host.dbid, txn_id, grp_id)
+                if self.host.config.batch_datalinks:
+                    self._buffered.setdefault(server, []).append(req)
+                else:
+                    yield from self.dlfm_call(server, req)
         self.pending_drops.append(name)
 
     # ------------------------------------------------------------------ commit / rollback
 
     def commit(self):
         """Generator: application COMMIT — the 2PC coordinator."""
-        if self.session.txn is None and not self.participants:
+        if (self.session.txn is None and not self.participants
+                and not self._buffered):
             return
         txn_id = self.txn_id
-        if not self.participants:
+        phase1 = sorted(set(self.participants) | set(self._buffered))
+        if not phase1:
             yield from self.session.commit()
             for name in self.pending_drops:
                 self.host.apply_drop(name)
@@ -331,11 +395,17 @@ class HostSession:
             self.host.metrics.commits += 1
             return
 
-        # ---- phase 1: prepare every participant -------------------------
-        for server in sorted(self.participants):
+        # ---- phase 1: prepare every participant; with batching on, a
+        # server's buffered ops ride in one Batch with Prepare piggybacked
+        for server in phase1:
             try:
-                yield from self._send_control(
-                    server, api.Prepare(self.host.dbid, txn_id))
+                ops = self._buffered.pop(server, None)
+                if ops:
+                    yield from self._send_batch(server, txn_id, ops,
+                                                prepare=True)
+                else:
+                    yield from self._send_control(
+                        server, api.Prepare(self.host.dbid, txn_id))
             except ReproError as error:
                 # One no-vote aborts everyone, including those already
                 # prepared (§3.3).
@@ -394,7 +464,8 @@ class HostSession:
 
     def rollback(self):
         """Generator: application ROLLBACK."""
-        if self.session.txn is None and not self.participants:
+        if (self.session.txn is None and not self.participants
+                and not self._buffered):
             return
         yield from self._abort_everything()
 

@@ -10,10 +10,24 @@ still busy — the precondition of the distributed-deadlock scenario in the
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from repro.errors import ChannelClosed, ChannelTimeout
 from repro.kernel.sim import TIMEOUT, Event, Simulator
+
+
+@dataclass
+class ChannelMetrics:
+    """Message accounting for one channel.
+
+    ``sends`` counts physical messages handed over (one per rendezvous or
+    buffered slot) — with vectored envelopes many logical operations ride
+    in one send, which is exactly what the batching fast path exploits.
+    """
+
+    sends: int = 0
+    recvs: int = 0
 
 
 class Channel:
@@ -24,6 +38,7 @@ class Channel:
         self.capacity = capacity
         self.name = name
         self.closed = False
+        self.metrics = ChannelMetrics()
         self._buffer: deque[Any] = deque()
         self._senders: deque[tuple[Any, Event]] = deque()
         self._receivers: deque[Event] = deque()
@@ -52,9 +67,11 @@ class Channel:
             raise ChannelClosed(self.name)
         receiver = self._pop_live_receiver()
         if receiver is not None:
+            self.metrics.sends += 1
             receiver.trigger(message)
             return
         if len(self._buffer) < self.capacity:
+            self.metrics.sends += 1
             self._buffer.append(message)
             return
         handoff = Event(self.sim, name=f"{self.name}.send")
@@ -69,6 +86,7 @@ class Channel:
                 span.set(outcome="closed")
                 raise outcome
             span.set(outcome="ok")
+            self.metrics.sends += 1
 
     def _pop_live_receiver(self):
         """Next receiver event that still has a live waiting process.
@@ -95,10 +113,12 @@ class Channel:
         if self._buffer:
             message = self._buffer.popleft()
             self._refill_from_senders()
+            self.metrics.recvs += 1
             return message
         if self._senders:
             message, handoff = self._senders.popleft()
             handoff.trigger(None)
+            self.metrics.recvs += 1
             return message
         if self.closed:
             raise ChannelClosed(self.name)
@@ -117,6 +137,7 @@ class Channel:
                 span.set(outcome="closed")
                 raise outcome
             span.set(outcome="ok")
+            self.metrics.recvs += 1
             return outcome
 
     def _refill_from_senders(self) -> None:
@@ -132,10 +153,12 @@ class Channel:
         if self._buffer:
             message = self._buffer.popleft()
             self._refill_from_senders()
+            self.metrics.recvs += 1
             return True, message
         if self._senders:
             message, handoff = self._senders.popleft()
             handoff.trigger(None)
+            self.metrics.recvs += 1
             return True, message
         return False, None
 

@@ -23,12 +23,25 @@ class Envelope:
     payload: Any
     reply: Event
 
+    @property
+    def nops(self) -> int:
+        """Logical operations riding in this one physical message.
+
+        A vectored payload (anything exposing an ``ops`` sequence, such
+        as :class:`repro.dlfm.api.Batch`) counts each carried operation;
+        a plain request counts 1. This is what the batching fast path
+        optimises: many ops, one rendezvous.
+        """
+        ops = getattr(self.payload, "ops", None)
+        return len(ops) if ops is not None else 1
+
 
 def call(sim: Simulator, chan: Channel, payload: Any,
          timeout: Optional[float] = None):
     """Generator: synchronous RPC; re-raises the remote exception."""
     with sim.tracer.span("rpc.call", channel=chan.name,
-                         request=type(payload).__name__):
+                         request=type(payload).__name__,
+                         nops=_payload_nops(payload)):
         reply = yield from cast(sim, chan, payload)
         return (yield from wait_reply(reply, timeout))
 
@@ -38,10 +51,17 @@ def cast(sim: Simulator, chan: Channel, payload: Any):
 
     The *send itself* still blocks until the peer agent issues a receive
     (rendezvous), which is exactly the hazard of asynchronous commit.
+    A vectored payload changes nothing here: a Batch is still ONE
+    blocking rendezvous, so the E6 deadlock preconditions are preserved.
     """
     reply = Event(sim, latch=True, name="rpc-reply")
     yield from chan.send(Envelope(payload, reply))
     return reply
+
+
+def _payload_nops(payload: Any) -> int:
+    ops = getattr(payload, "ops", None)
+    return len(ops) if ops is not None else 1
 
 
 def wait_reply(reply: Event, timeout: Optional[float] = None):

@@ -80,6 +80,13 @@ class DBConfig:
     update_locks: bool = False
     #: Active-log capacity in log records before LogFullError (LOGPRIMARY).
     wal_capacity: int = 200_000
+    #: WAL group commit (DB2's MINCOMMIT): committers arriving within this
+    #: many simulated seconds of each other share ONE physical log force —
+    #: the first becomes the group leader, waits out the window, then
+    #: forces to the log tail, covering everyone who appended meanwhile.
+    #: 0.0 (the default) forces per commit, the paper-faithful behaviour;
+    #: commit latency grows by up to the window when enabled.
+    group_commit_window: float = 0.0
     #: Buffer-pool capacity in pages.
     buffer_pool_pages: int = 2_000
     #: Heap rows per page (drives optimizer page counts and I/O volume).
@@ -102,3 +109,5 @@ class DBConfig:
             raise ValueError(f"unknown isolation level {self.isolation!r}")
         if self.rows_per_page < 1 or self.btree_order < 4:
             raise ValueError("degenerate storage geometry")
+        if self.group_commit_window < 0:
+            raise ValueError("group_commit_window must be >= 0")

@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.errors import (CatalogError, CrashedError, DatabaseError,
                           TransactionAborted)
-from repro.kernel.sim import Simulator, Timeout
+from repro.kernel.sim import Event, Simulator, Timeout
 from repro.minidb import wal as walmod
 from repro.minidb.btree import BTree
 from repro.minidb.catalog import Catalog, ColumnDef
@@ -81,6 +81,8 @@ class Database:
         self.btrees: dict[str, BTree] = {}
         self.executor = Executor(self)
         self._plan_cache: dict[str, tuple] = {}
+        #: In-flight group-commit force (Event) or None; volatile state.
+        self._group_force: Optional[Event] = None
         for table in self.catalog.tables.values():
             self.heaps[table.name] = Heap(table.name, self.pool)
         for index in self.catalog.indexes.values():
@@ -112,13 +114,7 @@ class Database:
         if txn.last_lsn is not None:
             self.wal.append(walmod.COMMIT, txn,
                             active_floor=self.txns.active_floor())
-            if self.wal.force():
-                with self.sim.tracer.span("wal.force", db=self.name,
-                                          txn=txn.id, record="commit",
-                                          lsn=self.wal.flushed_upto):
-                    cost = self.config.timing.log_force_cost()
-                    if cost > 0:
-                        yield Timeout(cost)
+            yield from self._force_wal(txn, "commit")
         self.locks.release_all(txn)
         self.txns.end(txn, TxnState.COMMITTED)
         self.metrics.commits += 1
@@ -141,14 +137,59 @@ class Database:
         txn.ensure_active()
         self.wal.append(walmod.PREPARE, txn,
                         active_floor=self.txns.active_floor())
-        if self.wal.force():
-            with self.sim.tracer.span("wal.force", db=self.name,
-                                      txn=txn.id, record="prepare",
-                                      lsn=self.wal.flushed_upto):
-                cost = self.config.timing.log_force_cost()
-                if cost > 0:
-                    yield Timeout(cost)
+        yield from self._force_wal(txn, "prepare")
         txn.state = TxnState.PREPARED
+
+    def _force_wal(self, txn: Transaction, record: str):
+        """Generator: make the just-appended commit/prepare record durable.
+
+        With ``group_commit_window > 0``, committers arriving while a
+        force is pending share ONE physical force: the first becomes the
+        group leader, waits out the window, then forces to the log tail —
+        covering everyone who appended meanwhile; followers just wait
+        (``forces_saved``). Control never returns before the record is
+        durable, so an acknowledgement cannot precede the force: a crash
+        inside the window fails every member with CrashedError.
+        """
+        if self.config.group_commit_window <= 0:
+            if self.wal.force():
+                with self.sim.tracer.span("wal.force", db=self.name,
+                                          txn=txn.id, record=record,
+                                          lsn=self.wal.flushed_upto):
+                    cost = self.config.timing.log_force_cost()
+                    if cost > 0:
+                        yield Timeout(cost)
+            return
+        target = self.wal.tail_lsn
+        while target > self.wal.flushed_upto:
+            event = self._group_force
+            if event is None:
+                # Leader: open a group, collect committers for one window.
+                event = Event(self.sim, latch=True,
+                              name=f"group-force-{self.name}")
+                self._group_force = event
+                yield Timeout(self.config.group_commit_window)
+                if self._group_force is not event:
+                    # crash() failed the group while we slept
+                    raise CrashedError(
+                        f"database {self.name} crashed during group commit")
+                self._group_force = None
+                self.wal.metrics.group_commits += 1
+                if self.wal.force():
+                    with self.sim.tracer.span("wal.force", db=self.name,
+                                              txn=txn.id, record=record,
+                                              lsn=self.wal.flushed_upto,
+                                              group=True):
+                        cost = self.config.timing.log_force_cost()
+                        if cost > 0:
+                            yield Timeout(cost)
+                event.trigger(None)
+            else:
+                # Follower: the pending force will cover our record.
+                self.wal.metrics.forces_saved += 1
+                outcome = yield event.wait()
+                if isinstance(outcome, BaseException):
+                    raise outcome
 
     def indoubt_transactions(self) -> list[Transaction]:
         """Prepared transactions awaiting an outcome (after restart too)."""
@@ -362,6 +403,12 @@ class Database:
     def crash(self) -> None:
         """Power failure: volatile state gone, durable state preserved."""
         self.crashed = True
+        pending, self._group_force = self._group_force, None
+        if pending is not None:
+            # Fail every group-commit member: their commit records are in
+            # the tail being discarded and were never acknowledged.
+            pending.trigger(CrashedError(
+                f"database {self.name} crashed before the group force"))
         self.wal.crash()
         self.pool.clear()
         self.locks.clear()

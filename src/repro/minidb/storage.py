@@ -14,6 +14,7 @@ from the log (see ``recovery.py``).
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -168,6 +169,11 @@ class Heap:
         self.rows_per_page = pool.rows_per_page
         self._page_count = 0
         self._free_pages: set[int] = set()
+        #: Free-space hint: lazy min-heap mirror of ``_free_pages``. May
+        #: hold stale or duplicate page numbers; they are popped on first
+        #: contact. Keeps "lowest page with space" amortized O(log n)
+        #: instead of scanning the whole free set per insert.
+        self._free_heap: list[int] = []
         self._row_count = 0
 
     # -- bootstrap --------------------------------------------------------------
@@ -182,7 +188,7 @@ class Heap:
             used = sum(1 for slot in page.slots if slot is not None)
             heap._row_count += used
             if used < heap.rows_per_page:
-                heap._free_pages.add(page_no)
+                heap._note_free(page_no)
         return heap
 
     # -- geometry (feeds optimizer statistics) -----------------------------------
@@ -203,11 +209,9 @@ class Heap:
         The executor X-locks this rid *before* inserting so a reused slot
         still X-locked by an uncommitted deleter can't expose dirty data.
         """
-        for page_no in sorted(self._free_pages):
-            page = self._page_for(page_no)
-            slot = page.first_free()
-            if slot is not None:
-                return (page_no, slot)
+        page = self._first_page_with_space()
+        if page is not None:
+            return (page.page_no, page.first_free())
         return (self._page_count, 0)
 
     def is_free(self, rid: Rid) -> bool:
@@ -233,7 +237,7 @@ class Heap:
         if page.free_slots == 0:
             self._free_pages.discard(page.page_no)
         else:
-            self._free_pages.add(page.page_no)
+            self._note_free(page.page_no)
         self.pool.mark_dirty(self.table, page.page_no)
         self._row_count += 1
         return target
@@ -244,7 +248,7 @@ class Heap:
         if row is None:
             raise DatabaseError(f"delete of empty slot {self.table}:{rid}")
         page.slots[rid[1]] = None
-        self._free_pages.add(page.page_no)
+        self._note_free(page.page_no)
         self.pool.mark_dirty(self.table, page.page_no)
         self._row_count -= 1
         return row
@@ -286,20 +290,38 @@ class Heap:
                 raise DatabaseError(
                     f"page {page_no} beyond heap {self.table}")
             for missing in range(self._page_count, page_no + 1):
-                self._free_pages.add(missing)
+                self._note_free(missing)
             self._page_count = page_no + 1
             return self.pool.fetch(self.table, page_no, create=True)
         return self.pool.fetch(self.table, page_no, create=True)
 
-    def _page_with_space(self) -> HeapPage:
-        while self._free_pages:
-            page_no = min(self._free_pages)
+    def _note_free(self, page_no: int) -> None:
+        if page_no not in self._free_pages:
+            self._free_pages.add(page_no)
+            heapq.heappush(self._free_heap, page_no)
+
+    def _first_page_with_space(self) -> Optional[HeapPage]:
+        """Lowest-numbered page with a free slot, via the hint heap.
+        Stale entries (removed or refilled pages) pop lazily."""
+        while self._free_heap:
+            page_no = self._free_heap[0]
+            if page_no not in self._free_pages:
+                heapq.heappop(self._free_heap)
+                continue
             page = self._page_for(page_no)
-            if page.first_free() is not None:
-                return page
-            self._free_pages.discard(page_no)
+            if page.first_free() is None:
+                self._free_pages.discard(page_no)
+                heapq.heappop(self._free_heap)
+                continue
+            return page
+        return None
+
+    def _page_with_space(self) -> HeapPage:
+        page = self._first_page_with_space()
+        if page is not None:
+            return page
         page_no = self._page_count
         self._page_count += 1
         page = self.pool.fetch(self.table, page_no, create=True)
-        self._free_pages.add(page_no)
+        self._note_free(page_no)
         return page

@@ -56,6 +56,11 @@ class WalMetrics:
     appends: int = 0
     forces: int = 0
     log_fulls: int = 0
+    #: Group commit (``DBConfig.group_commit_window``): number of shared
+    #: physical forces, and commits/prepares that piggybacked on one
+    #: instead of paying their own.
+    group_commits: int = 0
+    forces_saved: int = 0
 
 
 class LogManager:

@@ -119,8 +119,13 @@ def _import_counters(registry, system) -> None:
                                    dict(dlfm.metrics.__dict__))
         registry.register_counters(f"locks.{name}",
                                    dlfm.db.locks.metrics.snapshot())
+        registry.register_counters(f"wal.{name}",
+                                   dict(dlfm.db.wal.metrics.__dict__))
     registry.register_counters("locks.host",
                                system.host.db.locks.metrics.snapshot())
+    registry.register_counters("wal.host",
+                               dict(system.host.db.wal.metrics.__dict__))
+    registry.register_counters("host", dict(system.host.metrics.__dict__))
 
 
 SCENARIOS = {

@@ -9,7 +9,6 @@ from typing import Optional
 from repro.dlfm.config import DLFMConfig
 from repro.errors import ReproError, TransactionAborted
 from repro.host import DatalinkSpec, HostConfig, build_url
-from repro.host.hostdb import HostConfig
 from repro.kernel.sim import Timeout
 from repro.minidb.config import TimingModel
 from repro.system import System

@@ -158,3 +158,88 @@ def test_non_datalink_column_rejected(loader_system):
     from repro.errors import DataLinkError
     with pytest.raises(DataLinkError):
         LoadUtility(loader_system.host, "assets", "name", entries(1))
+
+
+# -- batched pieces (HostConfig.batch_datalinks) ------------------------------
+
+@pytest.fixture
+def batched_system():
+    from repro.host import HostConfig
+    system = System(seed=31,
+                    host_config=HostConfig(batch_datalinks=True))
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "assets", [("id", "INT"), ("name", "TEXT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        for i in range(250):
+            system.create_user_file("fs1", f"/load/f{i:04d}", owner="ops")
+
+    system.run(setup())
+    return system
+
+
+def test_batched_load_links_everything(batched_system, loader_system):
+    """The batched load reaches the same state as the serial one with
+    one Batch envelope per (piece, server) instead of one per file."""
+    batched, serial = batched_system, loader_system
+    stats, rpcs = {}, {}
+    for system in (batched, serial):
+        before = system.dlfms["fs1"].metrics.rpcs
+        load = LoadUtility(system.host, "assets", "doc", entries(250),
+                           piece_size=50)
+        stats[system] = system.run(load.run())
+        rpcs[system] = system.dlfms["fs1"].metrics.rpcs - before
+    assert stats[batched].linked == stats[serial].linked == 250
+    assert stats[batched].batches == 5
+    assert stats[serial].batches == 0
+    assert (batched.dlfms["fs1"].linked_count()
+            == serial.dlfms["fs1"].linked_count() == 250)
+    assert host_rows(batched) == host_rows(serial) == 250
+    assert batched.dlfms["fs1"].db.table_rows("dfm_txn") == []
+    # 5x(Batch + CommitPiece) + Prepare + Commit = 12 envelopes, vs
+    # BeginTxn + 250 links + 5 CommitPiece + Prepare + Commit = 258.
+    assert rpcs[batched] == 12
+    assert rpcs[serial] == 258
+
+
+def test_batched_resume_falls_back_to_per_file_skips(batched_system):
+    """A batch holding an already-linked file fails whole; the loader
+    retries that server's piece file-by-file so skips are counted
+    exactly like the slow path."""
+    system = batched_system
+    first = LoadUtility(system.host, "assets", "doc", entries(60),
+                        piece_size=30)
+    system.run(first.run())
+    again = LoadUtility(system.host, "assets", "doc", entries(120),
+                        piece_size=30)
+    stats = system.run(again.run())
+    assert stats.skipped == 60
+    assert stats.linked == 60
+    assert stats.batches == 2      # the two all-fresh pieces
+    assert system.dlfms["fs1"].linked_count() == 120
+    assert host_rows(system) == 120
+
+
+def test_batched_crash_mid_load_then_resume(batched_system):
+    system = batched_system
+    dlfm = system.dlfms["fs1"]
+    load = LoadUtility(system.host, "assets", "doc", entries(200),
+                       piece_size=50)
+
+    def first_half():
+        yield from load._load_piece()
+        yield from load._load_piece()
+
+    system.run(first_half())
+    assert dlfm.linked_count() == 100
+    dlfm.crash()
+    dlfm.restart()
+    assert dlfm.linked_count() == 100
+
+    stats = system.run(load.resume())
+    assert stats.resumed is True
+    assert stats.linked == 200
+    assert dlfm.linked_count() == 200
+    assert host_rows(system) == 200
+    assert dlfm.db.table_rows("dfm_txn") == []

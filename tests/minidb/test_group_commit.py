@@ -1,0 +1,204 @@
+"""WAL group commit (``DBConfig.group_commit_window``, MINCOMMIT-style).
+
+Committers that reach their log force within the window share ONE
+physical force: the first becomes the leader, sleeps the window, forces
+the tail (covering everyone who appended meanwhile), and wakes the rest.
+The ack-after-force invariant must survive crashes: a commit whose force
+never happened is never acknowledged, and its work is gone at restart.
+
+The committers UPDATE distinct pre-existing rows: concurrent INSERTs
+would serialize on the shared candidate-rid X lock (held to commit under
+strict 2PL) and never meet inside one window.
+"""
+
+import pytest
+
+from repro.errors import CrashedError
+from repro.kernel import Simulator, Timeout
+from repro.minidb import Database, DBConfig
+from repro.minidb.config import TimingModel
+
+
+def make_db(sim, **cfg):
+    # These tests are about the WAL, not locking: next-key locking would
+    # chain committer k to committer k+1 via the index-probe neighbor
+    # lock (E3) and keep them out of each other's window.
+    cfg.setdefault("next_key_locking", False)
+    db = Database(sim, "g", DBConfig(**cfg))
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (k INT, v TEXT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        for k in range(10):
+            yield from session.execute(
+                "INSERT INTO t (k, v) VALUES (?, ?)", (k, "init"))
+        yield from session.commit()
+        # E4 lesson: without statistics the UPDATE probes scan (and lock)
+        # the whole table, serializing the committers before they ever
+        # reach the log force.
+        db.set_table_stats("t", card=1_000_000, colcard={"k": 1_000_000})
+
+    sim.run_process(setup())
+    return db
+
+
+def all_rows(db):
+    def go():
+        session = db.session()
+        result = yield from session.execute("SELECT k, v FROM t ORDER BY k")
+        yield from session.commit()
+        return result.rows
+    return db.sim.run_process(go())
+
+
+def committer(db, k, delay=0.0):
+    if delay:
+        yield Timeout(delay)
+    session = db.session()
+    yield from session.execute(
+        "UPDATE t SET v = ? WHERE k = ?", (f"v{k}", k))
+    yield from session.commit()
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        DBConfig(group_commit_window=-0.1).validate()
+
+
+def test_concurrent_committers_share_one_force():
+    sim = Simulator()
+    db = make_db(sim, group_commit_window=0.02)
+    forces_before = db.wal.metrics.forces
+    groups_before = db.wal.metrics.group_commits
+
+    def root():
+        procs = [sim.spawn(committer(db, k), f"c{k}") for k in range(5)]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    # One leader forces for everyone; four followers ride along.
+    assert db.wal.metrics.forces - forces_before == 1
+    assert db.wal.metrics.forces_saved == 4
+    assert db.wal.metrics.group_commits - groups_before == 1
+    assert all_rows(db) == [(k, f"v{k}") for k in range(5)] + [
+        (k, "init") for k in range(5, 10)]
+
+
+def test_stragglers_outside_the_window_start_a_new_group():
+    sim = Simulator()
+    db = make_db(sim, group_commit_window=0.02)
+    forces_before = db.wal.metrics.forces
+    groups_before = db.wal.metrics.group_commits
+
+    def root():
+        procs = [sim.spawn(committer(db, 1), "c1"),
+                 sim.spawn(committer(db, 2, delay=1.0), "c2")]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    assert db.wal.metrics.forces - forces_before == 2
+    assert db.wal.metrics.forces_saved == 0
+    assert db.wal.metrics.group_commits - groups_before == 2
+
+
+def test_group_commit_charges_one_force_latency():
+    """Five grouped committers pay one window + one log-force latency,
+    not five forces."""
+    sim = Simulator()
+    db = make_db(sim, group_commit_window=0.02,
+                 timing=TimingModel(enabled=True, cpu_per_statement=0.0,
+                                    page_io=0.0, lock_op=0.0, rpc=0.0,
+                                    log_force=0.006))
+    started = sim.now
+
+    def root():
+        procs = [sim.spawn(committer(db, k), f"c{k}") for k in range(5)]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    assert sim.now - started == pytest.approx(0.02 + 0.006)
+
+
+def test_crash_inside_window_never_acks_the_commit():
+    """The durability half of the contract: a committer that crashed
+    while waiting for the group force gets CrashedError — its commit was
+    never acknowledged — and restart has no trace of its work."""
+    sim = Simulator()
+    db = make_db(sim, group_commit_window=0.05)
+    outcomes = {}
+
+    def victim(k):
+        try:
+            yield from committer(db, k)
+            outcomes[k] = "acked"
+        except CrashedError:
+            outcomes[k] = "crashed"
+
+    def saboteur():
+        # Mid-window: both committers are parked waiting for the force.
+        yield Timeout(0.01)
+        db.crash()
+
+    def root():
+        procs = [sim.spawn(victim(1), "v1"), sim.spawn(victim(2), "v2"),
+                 sim.spawn(saboteur(), "boom")]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    assert outcomes == {1: "crashed", 2: "crashed"}
+    db.restart()
+    assert all_rows(db) == [(k, "init") for k in range(10)]
+
+
+def test_commit_after_restart_works_again():
+    sim = Simulator()
+    db = make_db(sim, group_commit_window=0.05)
+
+    def doomed():
+        try:
+            yield from committer(db, 1)
+        except CrashedError:
+            pass
+
+    def saboteur():
+        yield Timeout(0.01)
+        db.crash()
+
+    def root():
+        procs = [sim.spawn(doomed(), "d"), sim.spawn(saboteur(), "boom")]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    db.restart()
+    sim.run_process(committer(db, 2))
+    rows = dict(all_rows(db))
+    assert rows[1] == "init"     # the doomed commit left no trace
+    assert rows[2] == "v2"       # the engine groups again after restart
+    assert db.wal.metrics.group_commits >= 1
+
+
+def test_zero_window_is_the_classic_path():
+    """window=0 (the default) must behave exactly like the seed engine:
+    every commit forces physically, nothing grouped, same data."""
+    results = {}
+    for window in (0.0, 0.02):
+        sim = Simulator()
+        db = make_db(sim, group_commit_window=window)
+
+        def serial():
+            for k in range(4):
+                yield from committer(db, k)
+
+        sim.run_process(serial())
+        results[window] = (all_rows(db), db.wal.metrics.forces_saved)
+    rows_zero, saved_zero = results[0.0]
+    rows_win, _ = results[0.02]
+    assert rows_zero == rows_win
+    assert saved_zero == 0
+    assert results[0.0][0][:4] == [(k, f"v{k}") for k in range(4)]

@@ -158,3 +158,71 @@ def test_unbilled_io_counts_misses_and_writes():
         heap.insert((i,))
     assert pool.metrics.drain_unbilled() > 0
     assert pool.metrics.drain_unbilled() == 0  # drained
+
+
+# -- free-space hint (lazy min-heap over _free_pages) -------------------------
+
+def test_free_hint_always_picks_lowest_page_with_space():
+    heap, _, _ = make_heap(rows_per_page=2)
+    rids = [heap.insert((i,)) for i in range(8)]   # pages 0..3 full
+    heap.delete(rids[6])                           # page 3 has a hole
+    heap.delete(rids[2])                           # page 1 has a hole
+    assert heap.candidate_rid() == rids[2]         # lowest wins
+    assert heap.insert(("x",)) == rids[2]
+    assert heap.candidate_rid() == rids[6]
+    assert heap.insert(("y",)) == rids[6]
+    # everything full again: next insert extends the heap
+    assert heap.candidate_rid() == (4, 0)
+
+
+def test_free_hint_skips_stale_entries():
+    """Pages that filled back up (or duplicate notes) pop lazily without
+    being offered as candidates."""
+    heap, _, _ = make_heap(rows_per_page=2)
+    rids = [heap.insert((i,)) for i in range(4)]
+    # Free and refill page 0 repeatedly: the hint heap accumulates
+    # notes; only live free space may surface.
+    for _ in range(3):
+        heap.delete(rids[0])
+        assert heap.insert(("again",)) == rids[0]
+    assert heap.candidate_rid() == (2, 0)
+    assert heap.insert(("tail",)) == (2, 0)
+
+
+def test_free_hint_survives_recover():
+    heap, pool, _ = make_heap(rows_per_page=2)
+    rids = [heap.insert((i,)) for i in range(6)]
+    heap.delete(rids[1])
+    pool.flush_all()
+    pool.clear()
+    recovered = Heap.recover("t", pool)
+    assert recovered.candidate_rid() == rids[1]
+    assert recovered.insert(("back",)) == rids[1]
+    assert recovered.candidate_rid() == (3, 0)
+
+
+def test_free_hint_matches_linear_scan_reference():
+    """Differential check: the hinted candidate always equals what the
+    seed's linear scan over all pages would have chosen."""
+    import random
+
+    rng = random.Random(11)
+    heap, _, _ = make_heap(rows_per_page=3)
+    live = []
+    for step in range(300):
+        if live and rng.random() < 0.4:
+            rid = live.pop(rng.randrange(len(live)))
+            heap.delete(rid)
+        else:
+            live.append(heap.insert((step,)))
+        # reference: lowest (page, slot) with a free slot, else new page
+        expected = None
+        for page_no in range(heap.npages):
+            page = heap._page_for(page_no)
+            slot = page.first_free()
+            if slot is not None:
+                expected = (page_no, slot)
+                break
+        if expected is None:
+            expected = (heap.npages, 0)
+        assert heap.candidate_rid() == expected
