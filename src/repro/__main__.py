@@ -10,6 +10,10 @@ Commands:
 * ``bench`` — run the fast-path performance harness (RPC batching + WAL
   group commit) and write ``BENCH_PERF.json``; ``--check`` enforces the
   acceptance gates, ``--quick`` is the CI scale.
+* ``chaos`` — run a seeded fault-injection campaign with cross-layer
+  invariant checking; on violation writes a replayable
+  ``chaos_repro.json`` (``--replay FILE`` re-runs it) plus a greedily
+  shrunken fault schedule.
 * ``experiments`` — list every experiment and the command regenerating it.
 * ``paper`` — one-paragraph description of what this reproduces.
 """
@@ -144,6 +148,79 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos.campaign import (CORRUPTIONS, CampaignConfig, replay,
+                                      run_campaign)
+    from repro.chaos.faults import FaultPlan, FaultPlanError
+    from repro.chaos.shrink import shrink_doc
+
+    if args.replay:
+        try:
+            with open(args.replay) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.replay}: {error}", file=sys.stderr)
+            return 2
+        result = replay(doc)
+    else:
+        plan = None
+        if args.plan:
+            try:
+                with open(args.plan) as handle:
+                    plan = FaultPlan.from_json(handle.read())
+            except (OSError, FaultPlanError) as error:
+                print(f"cannot load plan {args.plan}: {error}",
+                      file=sys.stderr)
+                return 2
+        corruptions = tuple(args.corrupt or ())
+        for name in corruptions:
+            if name not in CORRUPTIONS:
+                print(f"unknown corruption {name!r}; choose from: "
+                      f"{', '.join(sorted(CORRUPTIONS))}", file=sys.stderr)
+                return 2
+        result = run_campaign(CampaignConfig(
+            seed=args.seed, ops=args.ops, plan=plan,
+            corruptions=corruptions))
+
+    doc = result.repro_doc()
+    if args.json:
+        print(result.to_json())
+    else:
+        print(f"chaos campaign: seed={doc['seed']} ops={doc['ops']} "
+              f"plan={result.plan.name}")
+        print(f"  ops run       {len(doc['op_trace'])}")
+        print(f"  rounds        {doc['rounds']} "
+              f"({result.stuck_rounds} stuck)")
+        print(f"  recoveries    {doc['recoveries']}")
+        print(f"  faults fired  {len(doc['fired'])}")
+        print(f"  crashes       {len(doc['crashes'])}")
+        print(f"  violations    {len(doc['violations'])}")
+        for violation in result.violations:
+            print(f"    [{violation.code}] {violation.node}: "
+                  f"{violation.detail}")
+    if result.ok:
+        return 0
+
+    if args.shrink and not args.replay:
+        doc = shrink_doc(doc, max_trials=args.shrink_trials)
+        print(f"shrunk to ops={doc['ops']} "
+              f"rules={len(doc['plan']['rules'])} "
+              f"(from ops={doc['shrunk_from']['ops']} "
+              f"rules={doc['shrunk_from']['rules']})")
+    try:
+        with open(args.out, "w") as out:
+            json.dump(doc, out, indent=2, sort_keys=True)
+            out.write("\n")
+    except OSError as error:
+        print(f"cannot write {args.out}: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote replayable failure to {args.out} "
+          f"(python -m repro chaos --replay {args.out})")
+    return 1
+
+
 def cmd_experiments(_args) -> int:
     width = max(len(desc) for _, desc, _ in EXPERIMENTS)
     for exp_id, desc, cmd in EXPERIMENTS:
@@ -194,6 +271,27 @@ def main(argv=None) -> int:
     bench.add_argument("--check", action="store_true",
                        help="exit nonzero if an acceptance gate fails")
     bench.set_defaults(fn=cmd_bench)
+
+    chaos = sub.add_parser("chaos", help="seeded fault-injection campaign")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--ops", type=int, default=200,
+                       help="workload operations to interleave with faults")
+    chaos.add_argument("--plan", metavar="FILE",
+                       help="FaultPlan JSON (default: built-in default plan)")
+    chaos.add_argument("--replay", metavar="FILE",
+                       help="re-run a chaos_repro.json failure document")
+    chaos.add_argument("--corrupt", metavar="NAME", action="append",
+                       help="apply a named seeded corruption before the "
+                            "final check (test-only; serialized for replay)")
+    chaos.add_argument("--out", default="chaos_repro.json",
+                       help="where to write the failure document")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full result document (deterministic)")
+    chaos.add_argument("--no-shrink", dest="shrink", action="store_false",
+                       help="skip fault-schedule shrinking on failure")
+    chaos.add_argument("--shrink-trials", type=int, default=24,
+                       help="max re-runs the shrinker may spend")
+    chaos.set_defaults(fn=cmd_chaos)
 
     exps = sub.add_parser("experiments", help="list experiment harnesses")
     exps.set_defaults(fn=cmd_experiments)

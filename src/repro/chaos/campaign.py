@@ -1,0 +1,495 @@
+"""Seeded chaos campaign: workload × faults × crashes × recoveries.
+
+A campaign builds a full :class:`repro.system.System` with a
+:class:`~repro.chaos.faults.FaultInjector`, then alternates:
+
+1. **round** — a client runs a batch of datalink operations (insert /
+   update / delete on a media table, plus create+drop of short-lived
+   datalink tables) with fault injection ENABLED;
+2. **recover** — injection off, every crashed node is restarted (ARIES
+   recovery + distributed in-doubt resolution);
+3. **quiesce** — virtual time advances until the deployment is clean (no
+   in-flight transactions, no pending delayed updates, empty archive
+   queue, no decision rows) or a budget expires;
+4. **check** — :func:`repro.chaos.invariants.check_invariants` cross-
+   checks host ↔ DLFM ↔ file system ↔ archive.
+
+Everything is deterministic given (seed, plan): the workload draws from
+``sim.stream("chaos:workload")`` and faults from per-rule streams, so a
+violation's :func:`repro_doc` replays to the same violation with
+:func:`replay`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.chaos.faults import FaultInjector, FaultPlan, default_plan
+from repro.chaos.invariants import Violation, check_invariants
+from repro.errors import ReproError, TransactionAborted
+from repro.host import DatalinkSpec, build_url
+from repro.host.indoubt import resolve_indoubts
+from repro.kernel.sim import Timeout
+from repro.system import System
+
+#: Virtual seconds a single round may take before the client is killed.
+ROUND_BUDGET = 900.0
+#: Quiesce loop: up to QUIESCE_ROUNDS × QUIESCE_STEP virtual seconds.
+QUIESCE_STEP = 30.0
+QUIESCE_ROUNDS = 60
+
+
+@dataclass
+class CampaignConfig:
+    seed: int = 0
+    ops: int = 200
+    plan: Optional[FaultPlan] = None          # None → default_plan(seed)
+    servers: tuple = ("fs1", "fs2")
+    round_ops: int = 25
+    #: Named seeded corruptions (keys of :data:`CORRUPTIONS`) applied
+    #: right before the final invariant check. Unlike ``corrupt_hook``
+    #: these are serialized into the repro document, so a deliberately
+    #: broken invariant replays to the same violation.
+    corruptions: tuple = ()
+    #: Test hook: corrupt the system right before the final invariant
+    #: check (used to prove the checker catches seeded corruptions).
+    corrupt_hook: Optional[Callable] = None
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    plan: FaultPlan
+    violations: list = field(default_factory=list)
+    op_trace: list = field(default_factory=list)
+    fired: list = field(default_factory=list)
+    crashes: list = field(default_factory=list)
+    rounds: int = 0
+    recoveries: int = 0
+    checks: int = 0
+    stuck_rounds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def repro_doc(self) -> dict:
+        """JSON-serializable replay document (see :func:`replay`)."""
+        return {
+            "version": 1,
+            "seed": self.config.seed,
+            "ops": self.config.ops,
+            "round_ops": self.config.round_ops,
+            "servers": list(self.config.servers),
+            "plan": self.plan.to_doc(),
+            "violations": [v.to_doc() for v in self.violations],
+            "op_trace": self.op_trace,
+            "fired": self.fired,
+            "crashes": self.crashes,
+            "rounds": self.rounds,
+            "recoveries": self.recoveries,
+            "corruptions": list(self.config.corruptions),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.repro_doc(), sort_keys=True,
+                          separators=(",", ":"), indent=None)
+
+
+def config_from_doc(doc: dict) -> CampaignConfig:
+    """The campaign configuration a repro document encodes."""
+    return CampaignConfig(
+        seed=doc["seed"], ops=doc["ops"],
+        plan=FaultPlan.from_doc(doc["plan"]),
+        servers=tuple(doc["servers"]), round_ops=doc["round_ops"],
+        corruptions=tuple(doc.get("corruptions", ())))
+
+
+def replay(doc: dict) -> CampaignResult:
+    """Re-run the campaign a repro document describes."""
+    return run_campaign(config_from_doc(doc))
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    return _Campaign(config).run()
+
+
+# -------------------------------------------------------------- seeded corruptions
+#
+# Deliberate metadata damage the invariant checker must catch. Each
+# function corrupts the first applicable site and returns True, or False
+# when the campaign left nothing to corrupt (surfaced as its own
+# violation). They are *named* so a repro document can carry them.
+
+def _corrupt_dangling_link_row(system) -> bool:
+    """Delete an ST_LINKED dfm_file row out from under a host reference."""
+    from repro.dlfm import schema
+    for name in sorted(system.dlfms):
+        db = system.dlfms[name].db
+        pos = db.catalog.tables["dfm_file"].position("state")
+        for rid, row in sorted(db.heaps["dfm_file"].scan()):
+            if row[pos] == schema.ST_LINKED:
+                db.heaps["dfm_file"].delete(rid)
+                return True
+    return False
+
+
+def _corrupt_leaked_lock(system) -> bool:
+    """Grant a lock to a transaction the engine has no record of."""
+    from repro.minidb.locks import LockMode
+    from repro.minidb.txn import Transaction
+    name = sorted(system.dlfms)[0]
+    db = system.dlfms[name].db
+    ghost = Transaction(999_999, "RR", 0.0)
+    db.locks.force_grant(ghost, ("row", "dfm_file", (0, 0)), LockMode.X)
+    return True
+
+
+def _corrupt_deleted_group_marker(system) -> bool:
+    """Flip an active group to 'deleted' as if delgrpd never finished."""
+    from repro.dlfm import schema
+    for name in sorted(system.dlfms):
+        db = system.dlfms[name].db
+        pos = db.catalog.tables["dfm_group"].position("state")
+        for rid, row in sorted(db.heaps["dfm_group"].scan()):
+            if row[pos] == schema.GRP_ACTIVE:
+                changed = list(row)
+                changed[pos] = schema.GRP_DELETED
+                db.heaps["dfm_group"].delete(rid)
+                db.heaps["dfm_group"].insert(tuple(changed), rid=rid)
+                return True
+    return False
+
+
+CORRUPTIONS = {
+    "dangling-link-row": _corrupt_dangling_link_row,
+    "leaked-lock": _corrupt_leaked_lock,
+    "deleted-group-marker": _corrupt_deleted_group_marker,
+}
+
+
+class _Campaign:
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self.plan = (config.plan if config.plan is not None
+                     else default_plan(config.seed))
+        self.injector = FaultInjector(self.plan)
+        self.injector.enabled = False  # setup runs clean
+        self.system = System(seed=config.seed, servers=config.servers,
+                             injector=self.injector)
+        self.rng = self.system.sim.stream("chaos:workload")
+        self.result = CampaignResult(config, self.plan)
+        self.rows: list = []        # (row_id, server, path) live media rows
+        self.batch_tables: list = []  # short-lived tables awaiting drop
+        self._row_seq = 0
+        self._file_seq = 0
+        self._batch_seq = 0
+
+    # ------------------------------------------------------------------ driving
+
+    def run(self) -> CampaignResult:
+        sim = self.system.sim
+        self._run_clean(self._setup(), "chaos-setup")
+        max_rounds = 2 * (self.config.ops // max(1, self.config.round_ops)
+                          + 1) + 8
+        while (len(self.result.op_trace) < self.config.ops
+               and self.result.rounds < max_rounds):
+            self.result.rounds += 1
+            self._round(self.result.rounds)
+            self._recover()
+            self._quiesce()
+            self.result.checks += 1
+            violations = check_invariants(self.system)
+            if violations:
+                self.result.violations.extend(violations)
+                break
+        if (not self.result.violations
+                and len(self.result.op_trace) < self.config.ops):
+            self.result.violations.append(Violation(
+                "campaign-stalled", "campaign",
+                f"only {len(self.result.op_trace)}/{self.config.ops} ops "
+                f"ran in {self.result.rounds} rounds"))
+        if self.config.corruptions or self.config.corrupt_hook is not None:
+            for name in self.config.corruptions:
+                if not CORRUPTIONS[name](self.system):
+                    self.result.violations.append(Violation(
+                        "corruption-inapplicable", "campaign",
+                        f"corruption {name!r} found nothing to corrupt"))
+            if self.config.corrupt_hook is not None:
+                self.config.corrupt_hook(self.system)
+            self.result.checks += 1
+            self.result.violations.extend(check_invariants(self.system))
+        self.result.fired = list(self.injector.fired)
+        self.result.crashes = list(self.injector.crashes)
+        return self.result
+
+    def _run_clean(self, gen, name: str):
+        """Run one generator to completion with injection disabled."""
+        sim = self.system.sim
+        enabled = self.injector.enabled
+        self.injector.enabled = False
+        try:
+            proc = sim.spawn(gen, name)
+            sim.run(raise_failures=False, stop_when=lambda: proc.finished)
+            sim.consume_failures()
+            if proc.error is not None:
+                raise proc.error
+            return proc.result
+        finally:
+            self.injector.enabled = enabled
+
+    def _setup(self):
+        host = self.system.host
+        yield from host.create_datalink_table(
+            "media", [("id", "INT"), ("attr", "TEXT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(access_control="full", recovery=True)})
+        plain = host.db.session()
+        yield from plain.execute(
+            "CREATE UNIQUE INDEX media_id ON media (id)")
+        yield from plain.commit()
+        host.db.set_table_stats("media", card=100_000,
+                                colcard={"id": 100_000})
+
+    # ------------------------------------------------------------------ rounds
+
+    def _round(self, number: int) -> None:
+        sim = self.system.sim
+        budget = min(self.config.round_ops,
+                     self.config.ops - len(self.result.op_trace))
+        holder: dict = {}
+        self.injector.enabled = True
+        proc = sim.spawn(self._client(budget, holder),
+                         f"chaos-client-{number}")
+        sim.run(until=sim.now + ROUND_BUDGET, raise_failures=False,
+                stop_when=lambda: proc.finished)
+        self.injector.enabled = False
+        sim.consume_failures()  # crashed daemons/agents surface here
+        session = holder.get("session")
+        if not proc.finished:
+            # The round wedged (e.g. a request queued to a daemon that
+            # died before replying). Kill the client and clean up its
+            # transactions so a stuck round is not misread as a leak.
+            proc.kill()
+            self.result.stuck_rounds += 1
+            self.result.op_trace.append(
+                {"kind": "round", "target": f"round-{number}",
+                 "outcome": "stuck"})
+        if session is not None:
+            session.close()  # agents presume abort on disconnect
+            if session.session.txn is not None:
+                self._run_clean(self._discard(session), "chaos-cleanup")
+
+    def _discard(self, session):
+        try:
+            yield from session.rollback()
+        except ReproError:
+            pass
+
+    def _client(self, budget: int, holder: dict):
+        session = self.system.session()
+        holder["session"] = session
+        for _ in range(budget):
+            if self.system.host.db.crashed:
+                break  # round over; recovery brings the host back
+            kind = self._pick_kind()
+            record = {"kind": kind, "target": "", "outcome": "ok"}
+            try:
+                yield from self._one_op(kind, session, record)
+            except TransactionAborted as error:
+                record["outcome"] = f"aborted:{error.reason or 'unknown'}"
+                yield from self._discard(session)
+            except ReproError as error:
+                record["outcome"] = f"error:{type(error).__name__}"
+                yield from self._discard(session)
+            self.result.op_trace.append(record)
+        yield from self._discard(session)
+        session.close()
+        holder["session"] = None
+
+    def _pick_kind(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.40 or not self.rows:
+            return "insert"
+        if roll < 0.65:
+            return "update"
+        if roll < 0.85:
+            return "delete"
+        if self.batch_tables and roll < 0.93:
+            return "drop_table"
+        return "create_table"
+
+    def _one_op(self, kind: str, session, record: dict):
+        if kind == "insert":
+            yield from self._op_insert(session, record)
+        elif kind == "update":
+            yield from self._op_update(session, record)
+        elif kind == "delete":
+            yield from self._op_delete(session, record)
+        elif kind == "create_table":
+            yield from self._op_create_table(session, record)
+        else:
+            yield from self._op_drop_table(session, record)
+
+    def _new_file(self) -> tuple:
+        self._file_seq += 1
+        server = self.config.servers[self._file_seq
+                                     % len(self.config.servers)]
+        path = f"/data/chaos-{self._file_seq:07d}.obj"
+        # fs.create faults surface here, synchronously, as a failed op.
+        self.system.create_user_file(server, path, owner="chaos",
+                                     content=f"payload-{self._file_seq}")
+        return server, path
+
+    def _op_insert(self, session, record: dict):
+        self._row_seq += 1
+        row_id = self._row_seq
+        server, path = self._new_file()
+        record["target"] = f"media#{row_id}"
+        yield from session.execute(
+            "INSERT INTO media (id, attr, doc) VALUES (?, ?, ?)",
+            (row_id, "new", build_url(server, path)))
+        yield from session.commit()
+        self.rows.append((row_id, server, path))
+
+    def _op_update(self, session, record: dict):
+        index = self.rng.randrange(len(self.rows))
+        row_id, _, _ = self.rows[index]
+        server, path = self._new_file()
+        record["target"] = f"media#{row_id}"
+        yield from session.execute(
+            "UPDATE media SET doc = ?, attr = 'moved' WHERE id = ?",
+            (build_url(server, path), row_id))
+        yield from session.commit()
+        self.rows[index] = (row_id, server, path)
+
+    def _op_delete(self, session, record: dict):
+        index = self.rng.randrange(len(self.rows))
+        row_id, _, _ = self.rows[index]
+        record["target"] = f"media#{row_id}"
+        yield from session.execute(
+            "DELETE FROM media WHERE id = ?", (row_id,))
+        yield from session.commit()
+        self.rows.pop(index)
+
+    def _op_create_table(self, session, record: dict):
+        self._batch_seq += 1
+        name = f"batch_{self._batch_seq}"
+        record["target"] = name
+        yield from self.system.host.create_datalink_table(
+            name, [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(access_control="full", recovery=False)},
+            session=session)
+        self._row_seq += 1
+        server, path = self._new_file()
+        yield from session.execute(
+            f"INSERT INTO {name} (id, doc) VALUES (?, ?)",
+            (self._row_seq, build_url(server, path)))
+        yield from session.commit()
+        self.batch_tables.append(name)
+
+    def _op_drop_table(self, session, record: dict):
+        name = self.batch_tables[self.rng.randrange(len(self.batch_tables))]
+        record["target"] = name
+        yield from session.drop_table(name)
+        yield from session.commit()
+        self.batch_tables.remove(name)
+
+    # ------------------------------------------------------------------ recovery
+
+    def _recover(self) -> None:
+        restarted = False
+        for name in sorted(self.system.dlfms):
+            dlfm = self.system.dlfms[name]
+            if dlfm.db.crashed:
+                dlfm.restart()
+                restarted = True
+        host = self.system.host
+        if host.db.crashed:
+            self._run_clean(host.restart(), "chaos-host-restart")
+            restarted = True
+        if restarted:
+            self.result.recoveries += 1
+
+    # ------------------------------------------------------------------ quiesce
+
+    def _quiesce(self) -> None:
+        done = self._run_clean(self._quiesce_gen(), "chaos-quiesce")
+        if not done:
+            self.result.violations.append(Violation(
+                "quiesce-failed", "campaign",
+                f"still dirty after {QUIESCE_ROUNDS * QUIESCE_STEP:.0f}s: "
+                f"{self._dirty()}"))
+
+    def _quiesce_gen(self):
+        for _ in range(QUIESCE_ROUNDS):
+            reason = self._dirty()
+            if reason is None:
+                return True
+            try:
+                # Targeted drives for states only a restart rescan or the
+                # host's in-doubt logic resolves (e.g. a dropped phase-2
+                # notify, a decision row whose Commit reply was lost, a
+                # prepared transaction whose coordinator never crashed —
+                # the paper's in-doubt poller, §3.3).
+                if (self._host_has_decisions()
+                        or any(self._has_txn_rows(d)
+                               for d in self.system.dlfms.values())):
+                    yield from resolve_indoubts(self.system.host)
+                for name in sorted(self.system.dlfms):
+                    dlfm = self.system.dlfms[name]
+                    if self._has_committed_txns(dlfm):
+                        yield from dlfm.delete_groupd._rescan_committed()
+            except ReproError:
+                pass  # contention with a daemon; the next lap retries
+            yield Timeout(QUIESCE_STEP)
+        return self._dirty() is None
+
+    def _host_has_decisions(self) -> bool:
+        host = self.system.host
+        return (not host.db.crashed
+                and bool(host.db.table_rows("dlk_indoubt")))
+
+    def _has_committed_txns(self, dlfm) -> bool:
+        if dlfm.db.crashed:
+            return False
+        state = dlfm.db.catalog.tables["dfm_txn"].position("state")
+        from repro.dlfm import schema
+        return any(row[state] == schema.TXN_COMMITTED
+                   for row in dlfm.db.table_rows("dfm_txn"))
+
+    def _has_txn_rows(self, dlfm) -> bool:
+        return (not dlfm.db.crashed
+                and bool(dlfm.db.table_rows("dfm_txn")))
+
+    def _dirty(self) -> Optional[str]:
+        """Why the deployment is not yet quiesced (None when clean)."""
+        from repro.dlfm import schema
+        host = self.system.host
+        if host.db.crashed:
+            return "host down"
+        if host.db.table_rows("dlk_indoubt"):
+            return "dlk_indoubt rows"
+        if any(t for t in host.db.txns.active):
+            return "active host transactions"
+        for name in sorted(self.system.dlfms):
+            dlfm = self.system.dlfms[name]
+            if dlfm.db.crashed:
+                return f"{name} down"
+            if dlfm.db.table_rows("dfm_txn"):
+                return f"{name}: dfm_txn rows"
+            if dlfm.db.table_rows("dfm_archive"):
+                return f"{name}: pending archive entries"
+            cat = dlfm.db.catalog.tables
+            fstate = cat["dfm_file"].position("state")
+            if any(r[fstate] == schema.ST_UNLINKING
+                   for r in dlfm.db.table_rows("dfm_file")):
+                return f"{name}: delayed updates unresolved"
+            gstate = cat["dfm_group"].position("state")
+            if any(r[gstate] == schema.GRP_DELETED
+                   for r in dlfm.db.table_rows("dfm_group")):
+                return f"{name}: deleted groups pending"
+            if any(t for t in dlfm.db.txns.active):
+                return f"{name}: active transactions"
+        return None

@@ -1,0 +1,292 @@
+"""Cross-layer invariant checking (chaos oracle).
+
+After a campaign round has quiesced — every node restarted and
+recovered, all daemons drained, no in-flight transactions — the whole
+deployment must be in a *clean* state: the host's DATALINK columns, each
+DLFM's metadata tables, the file servers' namespace/ownership bits and
+the archive contents all agree. :func:`check_invariants` cross-checks
+them and returns the violations found.
+
+The checker is an out-of-band oracle: it reads engine state directly
+(``Database.table_rows``, ``FileSystem._files``) rather than going
+through sessions, so it can never deadlock with the system under test
+and never perturbs its RNG streams.
+
+Violation codes (also documented in DESIGN.md §10):
+
+==========================  ====================================================
+``node-down``               a database is still crashed at check time
+``dangling-host-ref``       DATALINK value with no ST_LINKED DLFM entry
+``linked-file-missing``     ST_LINKED entry but the file is gone
+``linked-not-protected``    linked file missing takeover ownership/read-only
+``orphan-linked-entry``     ST_LINKED entry no host row references
+``linked-in-dead-group``    ST_LINKED entry in a deleted/unknown group
+``stale-write-protection``  file owned by the DLFM admin with no linked entry
+``unresolved-delayed-update`` ST_UNLINKING row survived quiesce
+``orphan-indoubt-txn``      prepared dfm_txn row with no host decision row
+``unfinished-commit-work``  committed/in-flight dfm_txn row after quiesce
+``stale-decision-row``      dlk_indoubt row with no prepared DLFM txn
+``unresolved-deleted-group`` group still in state 'deleted' after quiesce
+``unarchived-pending``      dfm_archive row survived quiesce
+``missing-archive-copy``    archived=1 entry with no archive copy
+``leaked-txn``              active (never-prepared) transaction after quiesce
+``leaked-locks``            lock table non-empty with no transactions
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dlff.filter import DLFM_ADMIN
+from repro.dlfm import schema
+from repro.errors import DataLinkError
+from repro.fs.filesystem import READ_ONLY
+from repro.host.datalink import parse_url, shadow_column
+from repro.minidb.txn import TxnState
+
+
+@dataclass(frozen=True)
+class Violation:
+    code: str     # stable identifier, see module docstring
+    node: str     # node the evidence lives on ("host", "fs1", ...)
+    detail: str   # human-readable specifics
+
+    def to_doc(self) -> dict:
+        return {"code": self.code, "node": self.node, "detail": self.detail}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Violation":
+        return cls(doc["code"], doc["node"], doc["detail"])
+
+
+def _rows(db, table: str) -> list[dict]:
+    """Whole table as column-name dicts (robust to column reordering)."""
+    names = db.catalog.tables[table].column_names
+    return [dict(zip(names, row)) for row in db.table_rows(table)]
+
+
+def check_invariants(system) -> list["Violation"]:
+    """Cross-check host ↔ DLFMs ↔ file servers ↔ archive; return violations."""
+    out: list[Violation] = []
+
+    downs = _check_nodes_up(system, out)
+    host_refs = _collect_host_refs(system, out)
+    for name in sorted(system.dlfms):
+        if name in downs or system.host.db.crashed:
+            continue  # can't cross-check against a crashed side
+        _check_dlfm(system, name, host_refs, out)
+    if not system.host.db.crashed:
+        _check_host(system, downs, out)
+    return out
+
+
+# ---------------------------------------------------------------- node state
+
+def _check_nodes_up(system, out: list) -> set:
+    downs = set()
+    if system.host.db.crashed:
+        out.append(Violation("node-down", "host",
+                             f"host database {system.host.dbid} still down"))
+    for name, dlfm in sorted(system.dlfms.items()):
+        if dlfm.db.crashed:
+            downs.add(name)
+            out.append(Violation("node-down", name,
+                                 f"DLFM database on {name} still down"))
+    return downs
+
+
+# ---------------------------------------------------------------- host side
+
+def _collect_host_refs(system, out: list):
+    """Every live DATALINK value: (server, path) → (recid, table, column).
+
+    Returns None when the host is down (cross-checks are skipped then).
+    """
+    host = system.host
+    if host.db.crashed:
+        return None
+    refs: dict[tuple, tuple] = {}
+    for table, dl_columns in sorted(host.datalink_columns.items()):
+        tdef = host.db.catalog.tables.get(table)
+        if tdef is None:
+            continue  # dropped table with a stale registry entry
+        rows = host.db.table_rows(table)
+        for column in sorted(dl_columns):
+            pos = tdef.position(column)
+            shadow = tdef.position(shadow_column(column))
+            for row in rows:
+                url = row[pos]
+                if url is None:
+                    continue
+                try:
+                    server, path = parse_url(url)
+                except DataLinkError:
+                    out.append(Violation(
+                        "dangling-host-ref", "host",
+                        f"{table}.{column} holds malformed URL {url!r}"))
+                    continue
+                refs[(server, path)] = (row[shadow], table, column)
+    return refs
+
+
+def _check_host(system, downs: set, out: list) -> None:
+    host = system.host
+    # Presumed abort bookkeeping: a decision row survives quiesce only if
+    # phase 2 never finished — but then the DLFM must still hold a
+    # prepared transaction for it (else the row is garbage that will
+    # re-drive phase 2 forever).
+    for row in _rows(host.db, "dlk_indoubt"):
+        txn_id, server = row["txn_id"], row["server"]
+        dlfm = system.dlfms.get(server)
+        if dlfm is None or server in downs:
+            continue
+        prepared = any(
+            r["txn_id"] == txn_id and r["state"] == schema.TXN_PREPARED
+            for r in _rows(dlfm.db, "dfm_txn") if r["dbid"] == host.dbid)
+        if not prepared:
+            out.append(Violation(
+                "stale-decision-row", "host",
+                f"dlk_indoubt({txn_id}, {server}) but {server} has no "
+                f"prepared txn {txn_id}"))
+    _check_engine_residue(host.db, "host", out)
+
+
+# ---------------------------------------------------------------- DLFM side
+
+def _check_dlfm(system, name: str, host_refs, out: list) -> None:
+    dlfm = system.dlfms[name]
+    host = system.host
+    fs = dlfm.server.fs
+    files = _rows(dlfm.db, "dfm_file")
+    groups = {r["grp_id"]: r for r in _rows(dlfm.db, "dfm_group")
+              if r["dbid"] == host.dbid}
+
+    linked_paths = set()
+    for row in files:
+        path, state = row["filename"], row["state"]
+        if state == schema.ST_LINKED:
+            linked_paths.add(path)
+            _check_linked_file(system, name, fs, row, groups, host_refs, out)
+        elif state == schema.ST_UNLINKING:
+            out.append(Violation(
+                "unresolved-delayed-update", name,
+                f"{path} still ST_UNLINKING (txn {row['unlink_txn']}) "
+                f"after quiesce"))
+        if (row["archived"] and not system.archive.has_copy(
+                name, path, row["recovery_id"])):
+            out.append(Violation(
+                "missing-archive-copy", name,
+                f"{path}@{row['recovery_id']} marked archived but the "
+                f"archive has no copy"))
+
+    # Host refs pointing here must have a linked entry behind them.
+    if host_refs is not None:
+        for (server, path), (recid, table, column) in sorted(
+                host_refs.items()):
+            if server != name:
+                continue
+            match = [r for r in files if r["filename"] == path
+                     and r["state"] == schema.ST_LINKED]
+            if not match:
+                out.append(Violation(
+                    "dangling-host-ref", name,
+                    f"{table}.{column} -> {path} has no ST_LINKED entry"))
+            elif recid is not None and all(
+                    r["recovery_id"] != recid for r in match):
+                out.append(Violation(
+                    "dangling-host-ref", name,
+                    f"{table}.{column} -> {path} recovery id {recid} "
+                    f"matches no ST_LINKED entry"))
+
+    # Takeover bits with no linked entry = protection leaked by a
+    # half-done unlink (the release never ran and never will).
+    for path, node in sorted(fs._files.items()):
+        if node.owner == DLFM_ADMIN and path not in linked_paths:
+            out.append(Violation(
+                "stale-write-protection", name,
+                f"{path} owned by {DLFM_ADMIN} with no ST_LINKED entry"))
+
+    _check_dlfm_txns(system, name, dlfm, out)
+    for row in sorted(groups.values(), key=lambda r: r["grp_id"]):
+        if row["state"] == schema.GRP_DELETED:
+            out.append(Violation(
+                "unresolved-deleted-group", name,
+                f"group {row['grp_id']} ({row['table_name']}."
+                f"{row['column_name']}) still 'deleted' after quiesce"))
+    for row in _rows(dlfm.db, "dfm_archive"):
+        out.append(Violation(
+            "unarchived-pending", name,
+            f"{row['filename']}@{row['recovery_id']} still pending "
+            f"archive after quiesce"))
+    _check_engine_residue(dlfm.db, name, out)
+
+
+def _check_linked_file(system, name, fs, row, groups, host_refs, out) -> None:
+    path = row["filename"]
+    node = fs._files.get(path)
+    if node is None:
+        out.append(Violation(
+            "linked-file-missing", name,
+            f"{path} is ST_LINKED but missing from the file system"))
+    else:
+        full = row["access_ctl"] == "full"
+        want_ro = full or row["recovery"] == "yes"
+        if full and node.owner != DLFM_ADMIN:
+            out.append(Violation(
+                "linked-not-protected", name,
+                f"{path} linked under full control but owned by "
+                f"{node.owner!r}"))
+        if want_ro and node.mode != READ_ONLY:
+            out.append(Violation(
+                "linked-not-protected", name,
+                f"{path} must be read-only but has mode {oct(node.mode)}"))
+    group = groups.get(row["grp_id"])
+    if group is None or group["state"] != schema.GRP_ACTIVE:
+        state = "missing" if group is None else repr(group["state"])
+        out.append(Violation(
+            "linked-in-dead-group", name,
+            f"{path} is ST_LINKED in group {row['grp_id']} ({state})"))
+        return  # a dead group has no host rows to cross-check against
+    if host_refs is not None and (name, path) not in host_refs:
+        out.append(Violation(
+            "orphan-linked-entry", name,
+            f"{path} is ST_LINKED (group {row['grp_id']}, "
+            f"{group['table_name']}.{group['column_name']}) but no host "
+            f"row references it"))
+
+
+def _check_dlfm_txns(system, name, dlfm, out) -> None:
+    host = system.host
+    decisions = set()
+    if not host.db.crashed:
+        decisions = {r["txn_id"] for r in _rows(host.db, "dlk_indoubt")
+                     if r["server"] == name}
+    for row in _rows(dlfm.db, "dfm_txn"):
+        txn_id, state = row["txn_id"], row["state"]
+        if state == schema.TXN_PREPARED:
+            if not host.db.crashed and txn_id not in decisions:
+                out.append(Violation(
+                    "orphan-indoubt-txn", name,
+                    f"txn {txn_id} prepared but the host holds no "
+                    f"decision row (presumed abort should have fired)"))
+        else:
+            out.append(Violation(
+                "unfinished-commit-work", name,
+                f"txn {txn_id} still {state!r} after quiesce"))
+
+
+# ---------------------------------------------------------------- engine residue
+
+def _check_engine_residue(db, node: str, out: list) -> None:
+    """Leaked transactions and locks inside one minidb engine."""
+    active = db.txns.active
+    stray = [t for t in active if t.state is not TxnState.PREPARED]
+    for txn in stray:
+        out.append(Violation(
+            "leaked-txn", node,
+            f"transaction {txn.id} still {txn.state.value} after quiesce"))
+    if not active and db.locks.total_locks:
+        out.append(Violation(
+            "leaked-locks", node,
+            f"{db.locks.total_locks} locks held with no live transactions"))

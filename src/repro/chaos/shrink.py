@@ -1,0 +1,107 @@
+"""Greedy fault-schedule shrinking.
+
+Given a failing repro document (a campaign that ended with violations),
+:func:`shrink_doc` searches for a smaller campaign that still fails with
+(at least one of) the same violation codes, by greedily trying:
+
+* halving the operation count,
+* removing whole fault rules,
+* reducing a rule's ``max_fires`` (unbounded → 1).
+
+Every trial is a full deterministic re-run, so an accepted reduction is
+*proven* to still reproduce. Rule ids are derived from rule shape, not
+list position (see :meth:`FaultPlan.with_ids`), so removing one rule
+leaves the RNG streams of the survivors untouched — the usual reason
+naive schedule shrinking diverges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.chaos.campaign import CampaignConfig, config_from_doc, \
+    run_campaign
+from repro.chaos.faults import FaultPlan
+
+
+def _still_fails(config: CampaignConfig, codes: set) -> bool:
+    result = run_campaign(config)
+    return any(v.code in codes for v in result.violations)
+
+
+def shrink_config(config: CampaignConfig, codes: set,
+                  max_trials: int = 40) -> tuple:
+    """Greedy shrink; returns (smaller_config, trials_used).
+
+    The returned config is always ≤ the input (ops and rule count never
+    grow) and still fails with one of ``codes``.
+    """
+    trials = 0
+    improved = True
+    while improved and trials < max_trials:
+        improved = False
+
+        # 1. Fewer operations.
+        if config.ops > 20 and trials < max_trials:
+            trial = replace(config, ops=max(20, config.ops // 2))
+            trials += 1
+            if _still_fails(trial, codes):
+                config = trial
+                improved = True
+                continue
+
+        # 2. Drop whole rules, one at a time.
+        plan = config.plan
+        for i in range(len(plan.rules)):
+            if trials >= max_trials:
+                break
+            rules = list(plan.rules)
+            removed = rules.pop(i)
+            trial = replace(config, plan=FaultPlan(rules=rules,
+                                                   name=plan.name))
+            trials += 1
+            if _still_fails(trial, codes):
+                config = trial
+                plan = trial.plan
+                improved = True
+                break  # restart the scan over the smaller plan
+
+        if improved:
+            continue
+
+        # 3. Tighten unbounded rules to a single firing.
+        for i, rule in enumerate(plan.rules):
+            if trials >= max_trials:
+                break
+            if rule.max_fires is not None and rule.max_fires <= 1:
+                continue
+            rules = list(plan.rules)
+            rules[i] = replace(rule, max_fires=1)
+            trial = replace(config, plan=FaultPlan(rules=rules,
+                                                   name=plan.name))
+            trials += 1
+            if _still_fails(trial, codes):
+                config = trial
+                plan = trial.plan
+                improved = True
+                break
+    return config, trials
+
+
+def shrink_doc(doc: dict, max_trials: int = 40) -> dict:
+    """Shrink a failing repro document; returns the (re-run) smaller doc.
+
+    The result is the repro document of the final shrunken run, so its
+    violations/op_trace/fired fields describe the minimized failure.
+    """
+    codes = {v["code"] for v in doc.get("violations", [])}
+    if not codes:
+        return doc
+    config = config_from_doc(doc)
+    config = replace(config, plan=config.plan.with_ids())
+    smaller, _ = shrink_config(config, codes, max_trials=max_trials)
+    result = run_campaign(smaller)
+    out = result.repro_doc()
+    out["shrunk_from"] = {"ops": doc["ops"],
+                          "rules": len(doc["plan"]["rules"])}
+    return out

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dlfm import api
-from repro.errors import TransactionAborted, TwoPCProtocolError
+from repro.errors import ReproError, TransactionAborted, TwoPCProtocolError
 from repro.kernel.channel import Channel
 from repro.kernel.rpc import serve_loop
 
@@ -33,6 +33,17 @@ class ChildAgent:
 
     def serve(self):
         yield from serve_loop(self.chan, self.dispatch)
+        # Connection gone: presumed abort. A local transaction that never
+        # reached Prepare dies with its connection — otherwise its locks
+        # would outlive the host session that abandoned it. A PREPARED
+        # transaction stays indoubt, as §3.3 requires.
+        if self.session is not None and not self.prepared:
+            try:
+                yield from self.session.rollback()
+            except ReproError:
+                pass  # crashed local db: restart recovery discards it
+        self.session = None
+        self.current = None
 
     # ------------------------------------------------------------------ dispatch
 

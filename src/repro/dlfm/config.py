@@ -35,8 +35,15 @@ class DLFMConfig:
     #: Phase-2 commit/abort retry ceiling (None = retry forever, as the
     #: paper does; experiments may bound it).
     commit_retry_limit: Optional[int] = None
-    #: Delay between phase-2 retries after a deadlock/timeout.
+    #: Base delay between phase-2 retries after a deadlock/timeout. The
+    #: actual sleep grows by ``commit_retry_backoff`` per attempt up to
+    #: ``commit_retry_max_delay``, jittered by ``commit_retry_jitter``
+    #: (relative half-width, drawn from a seeded stream) so independent
+    #: resources don't retry in lockstep convoys.
     commit_retry_delay: float = 0.5
+    commit_retry_backoff: float = 2.0
+    commit_retry_max_delay: float = 8.0
+    commit_retry_jitter: float = 0.1
     #: Hand-craft File/Archive-table statistics at startup and guard them
     #: against user RUNSTATS (lesson §4 / E4).
     pin_statistics: bool = True

@@ -10,7 +10,7 @@ precisely where the paper hit next-key-locking deadlocks.
 
 from __future__ import annotations
 
-from repro.errors import FileNotFound, TransactionAborted
+from repro.errors import FileNotFound, TransactionAborted, TransientIOError
 from repro.kernel.sim import Timeout
 
 
@@ -28,6 +28,10 @@ class CopyDaemon:
     def sweep(self):
         """Generator: archive every currently pending entry; returns count."""
         db = self.dlfm.db
+        sim = self.dlfm.sim
+        if sim.injector.enabled:
+            sim.injector.maybe_crash(
+                f"daemon.pass:{self.dlfm.name}:copyd", db.name)
         with self.dlfm.sim.tracer.span("daemon.copyd.sweep") as span:
             try:
                 session = db.session()
@@ -60,6 +64,9 @@ class CopyDaemon:
             content = node.content
         except FileNotFound:
             content = None  # crashed mid-flight long ago; drop the entry
+        except TransientIOError:
+            self.conflicts += 1
+            return 0  # transient I/O fault; the next sweep retries
         if content is not None:
             yield from dlfm.archive.store(
                 dlfm.server.name, path, recovery_id, content,

@@ -12,7 +12,7 @@ mid-way is resumed by a restart rescan (§3.5).
 from __future__ import annotations
 
 from repro.dlfm import schema
-from repro.errors import ChannelClosed, TransactionAborted
+from repro.errors import RETRIABLE_FAULTS, ChannelClosed
 from repro.kernel.channel import Channel
 from repro.kernel.sim import Timeout
 
@@ -55,6 +55,10 @@ class DeleteGroupDaemon:
     def process_txn(self, dbid: str, txn_id: int):
         """Generator: unlink all files of all groups this txn deleted."""
         db = self.dlfm.db
+        sim = self.dlfm.sim
+        if sim.injector.enabled:
+            sim.injector.maybe_crash(
+                f"daemon.pass:{self.dlfm.name}:delgrpd", db.name)
         with self.dlfm.sim.tracer.span("daemon.delgrpd.process_txn",
                                        dbid=dbid, txn=txn_id) as span:
             session = db.session()
@@ -77,6 +81,7 @@ class DeleteGroupDaemon:
         """Unlink every linked file of the group, N per local commit."""
         batch_n = self.dlfm.config.batch_commit_n
         db = self.dlfm.db
+        backoff = self.dlfm.retry_backoff(f"delgrpd:{grp_id}")
         while True:
             try:
                 session = db.session()
@@ -111,10 +116,17 @@ class DeleteGroupDaemon:
                     self.files_unlinked += 1
                 yield from session.commit()
                 self.batch_commits += 1
-            except TransactionAborted as error:
-                if error.reason == "logfull":
+                backoff.reset()
+            except RETRIABLE_FAULTS as error:
+                if getattr(error, "reason", None) == "logfull":
                     self.log_fulls += 1
-                yield Timeout(self.dlfm.config.commit_retry_delay)
+                # A transient transport/I/O fault leaves the batch's local
+                # transaction open (unlike an engine abort): drop its locks
+                # before sleeping.
+                yield from session.rollback()
+                self.dlfm.sim.tracer.count("retries",
+                                           f"{self.dlfm.name}.delgrpd")
+                yield Timeout(backoff.next())
         # Group fully drained: mark it emptied; GC removes it at expiry.
         session = db.session()
         yield from session.execute(

@@ -41,6 +41,10 @@ class GarbageCollector:
     def collect(self):
         """Generator: one full GC pass; returns a summary dict."""
         summary = {"entries": 0, "copies": 0, "groups": 0, "backups": 0}
+        sim = self.dlfm.sim
+        if sim.injector.enabled:
+            sim.injector.maybe_crash(
+                f"daemon.pass:{self.dlfm.name}:gcd", self.dlfm.db.name)
         with self.dlfm.sim.tracer.span("daemon.gc.collect") as span:
             yield from self._prune_backups(summary)
             yield from self._prune_expired_groups(summary)

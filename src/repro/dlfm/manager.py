@@ -32,9 +32,10 @@ from repro.dlfm.daemons.delete_group import DeleteGroupDaemon
 from repro.dlfm.daemons.gc import GarbageCollector
 from repro.dlfm.daemons.retrieved import RetrieveDaemon
 from repro.dlfm.daemons.upcall import UpcallDaemon
-from repro.errors import (LinkError, TransactionAborted, TwoPCProtocolError,
-                          UnlinkError)
+from repro.errors import (RETRIABLE_FAULTS, LinkError, TransactionAborted,
+                          TwoPCProtocolError, UnlinkError)
 from repro.fs.filesystem import FileServer
+from repro.kernel.backoff import Backoff
 from repro.kernel.sim import Simulator, Timeout
 from repro.minidb import Database
 from repro.sql.parser import parse as parse_sql
@@ -156,6 +157,14 @@ class DLFM:
         self.start()
         self.delete_groupd.rescan_needed = True
         return summary
+
+    def retry_backoff(self, what: str) -> Backoff:
+        """The retry-delay policy for phase-2 loops and daemons."""
+        return Backoff(self.config.commit_retry_delay,
+                       factor=self.config.commit_retry_backoff,
+                       cap=self.config.commit_retry_max_delay,
+                       jitter=self.config.commit_retry_jitter,
+                       rng=self.sim.stream(f"retry:{self.name}:{what}"))
 
     # ------------------------------------------------------------------ statistics guard
 
@@ -365,6 +374,7 @@ class DLFM:
         """Generator: phase 2 commit — retry until it succeeds (Fig. 4)."""
         attempt = 1
         done_chown: set = set()
+        backoff = self.retry_backoff("commit")
         while True:
             session = self.db.session()
             with self.sim.tracer.span("dlfm.phase2", verb="commit",
@@ -376,20 +386,22 @@ class DLFM:
                     span.set(outcome="ok")
                     self.metrics.commits += 1
                     return result
-                except TransactionAborted as error:
+                except RETRIABLE_FAULTS as error:
                     span.set(outcome="aborted",
-                             cause=getattr(error, "reason", None) or "error")
+                             cause=getattr(error, "reason", None)
+                             or type(error).__name__)
                     # The failed attempt's session may still hold locks (a
                     # deadlock victim keeps every lock not yet released):
                     # roll it back before sleeping so the next attempt —
                     # and everyone else — is not blocked by a corpse.
                     yield from session.rollback()
                     self.metrics.commit_retries += 1
+                    self.sim.tracer.count("retries", f"{self.name}.commit")
                     limit = self.config.commit_retry_limit
                     if limit is not None and attempt >= limit:
                         raise
             attempt += 1
-            yield Timeout(self.config.commit_retry_delay)
+            yield Timeout(backoff.next())
 
     def _commit_once(self, session, req: api.Commit, done_chown: set):
         txn_row = yield from session.query_one(
@@ -467,6 +479,7 @@ class DLFM:
         """Generator: phase 2 abort after prepare — undo committed local
         changes via the delayed-update records; retry until success."""
         attempt = 1
+        backoff = self.retry_backoff("abort")
         while True:
             session = self.db.session()
             with self.sim.tracer.span("dlfm.phase2", verb="abort",
@@ -477,17 +490,19 @@ class DLFM:
                     span.set(outcome="ok")
                     self.metrics.aborts += 1
                     return result
-                except TransactionAborted as error:
+                except RETRIABLE_FAULTS as error:
                     span.set(outcome="aborted",
-                             cause=getattr(error, "reason", None) or "error")
+                             cause=getattr(error, "reason", None)
+                             or type(error).__name__)
                     # Same as op_commit: drop the failed attempt's locks.
                     yield from session.rollback()
                     self.metrics.abort_retries += 1
+                    self.sim.tracer.count("retries", f"{self.name}.abort")
                     limit = self.config.commit_retry_limit
                     if limit is not None and attempt >= limit:
                         raise
             attempt += 1
-            yield Timeout(self.config.commit_retry_delay)
+            yield Timeout(backoff.next())
 
     def _abort_once(self, session, req: api.Abort):
         txn_row = yield from session.query_one(

@@ -102,6 +102,17 @@ class FileSystemError(ReproError):
     """Base class for simulated file-system failures."""
 
 
+class TransientIOError(FileSystemError):
+    """Injected transient I/O fault (repro.chaos); retrying may succeed."""
+
+
+#: Failures a retry loop (phase-2, delete-group draining) recovers from
+#: by retrying: local aborts plus transient transport and I/O faults.
+#: Crashes are deliberately absent — a crashed node cannot be retried
+#: into health; its work resumes after restart.
+RETRIABLE_FAULTS = (TransactionAborted, TransientIOError, ChannelTimeout)
+
+
 class FileNotFound(FileSystemError):
     pass
 

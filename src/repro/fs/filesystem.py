@@ -51,9 +51,15 @@ class FileSystem:
 
     _inodes = itertools.count(1)
 
-    def __init__(self, sim):
+    def __init__(self, sim, name: str = "fs"):
         self.sim = sim
+        self.name = name
         self._files: dict[str, FileNode] = {}
+
+    def _inject(self, op: str, path: str) -> None:
+        """Chaos hook: raise TransientIOError if a fault rule fires."""
+        if self.sim.injector.enabled:
+            self.sim.injector.fs_check(f"fs.{op}:{self.name}", path)
 
     # -- queries -----------------------------------------------------------------
 
@@ -61,6 +67,7 @@ class FileSystem:
         return path in self._files
 
     def stat(self, path: str) -> FileNode:
+        self._inject("stat", path)
         node = self._files.get(path)
         if node is None:
             raise FileNotFound(path)
@@ -73,6 +80,7 @@ class FileSystem:
 
     def create(self, path: str, owner: str, content: str = "",
                group: str = "users", mode: int = READ_WRITE) -> FileNode:
+        self._inject("create", path)
         if path in self._files:
             raise FileExists(path)
         node = FileNode(path=path, owner=owner, group=group, mode=mode,
@@ -82,12 +90,14 @@ class FileSystem:
         return node
 
     def read(self, path: str, user: str) -> str:
+        self._inject("read", path)
         node = self.stat(path)
         if not node.readable_by(user):
             raise PermissionDenied(f"{user} cannot read {path}")
         return node.content
 
     def write(self, path: str, user: str, content: str) -> None:
+        self._inject("write", path)
         node = self.stat(path)
         if not node.writable_by(user):
             raise PermissionDenied(f"{user} cannot write {path}")
@@ -95,12 +105,14 @@ class FileSystem:
         node.mtime = self.sim.now
 
     def delete(self, path: str, user: str) -> None:
+        self._inject("delete", path)
         node = self.stat(path)
         if not node.writable_by(user):
             raise PermissionDenied(f"{user} cannot delete {path}")
         del self._files[path]
 
     def rename(self, old: str, new: str, user: str) -> None:
+        self._inject("rename", old)
         node = self.stat(old)
         if not node.writable_by(user):
             raise PermissionDenied(f"{user} cannot rename {old}")
@@ -141,7 +153,7 @@ class FileServer:
     def __init__(self, sim, name: str):
         self.sim = sim
         self.name = name
-        self.fs = FileSystem(sim)
+        self.fs = FileSystem(sim, name=name)
         self.filtered = None  # set by dlff.Filter.mount()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

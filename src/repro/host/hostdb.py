@@ -98,13 +98,18 @@ class HostDB:
 
     def create_datalink_table(self, name: str,
                               columns: list[tuple[str, str]],
-                              datalink: dict[str, DatalinkSpec]):
+                              datalink: dict[str, DatalinkSpec],
+                              session=None):
         """Generator: CREATE TABLE with DATALINK columns.
 
         Datalink columns are stored as TEXT URLs plus an engine-maintained
         shadow column carrying the link's recovery id (real DB2 embeds
         this inside the DATALINK value). File groups — one per datalink
         column — are registered on every DLFM under 2PC.
+
+        With an explicit ``session`` the group registrations join that
+        session's transaction and the CALLER commits (or rolls back) —
+        used by callers that need to recover from mid-DDL failures.
         """
         column_names = {n for n, _ in columns}
         for col in datalink:
@@ -117,13 +122,16 @@ class HostDB:
         for col in datalink:
             self.group_ids[(name, col)] = next(self._grp_counter)
 
-        session = self.session()
+        own_session = session is None
+        if own_session:
+            session = self.session()
         for col in datalink:
             grp_id = self.group_ids[(name, col)]
             for server in sorted(self.dlfms):
                 yield from session.dlfm_call(server, api.RegisterGroup(
                     self.dbid, session.txn_id_for(server), grp_id, name, col))
-        yield from session.commit()
+        if own_session:
+            yield from session.commit()
 
     def apply_drop(self, name: str) -> None:
         """Finalize a datalink table drop at commit time."""

@@ -51,6 +51,11 @@ class HostSession:
         self._buffered: dict[str, list] = {}
         self._stmt_seq = itertools.count(1)
         self._parse_cache: dict[str, ast.Statement] = {}
+        #: Set once the 2PC commit decision is durable (decision rows +
+        #: local commit). From then on the transaction IS committed:
+        #: phase-2 failures are resolved by in-doubt re-drive, never by
+        #: sending Abort to the participants.
+        self._decided = False
 
     # ------------------------------------------------------------------ txn plumbing
 
@@ -340,6 +345,24 @@ class HostSession:
             raise
 
     def _abort_everything(self):
+        if self._decided:
+            # The commit decision is durable and the local transaction is
+            # already committed: there is nothing to abort. A phase-2
+            # failure lands here when the application reacts to the error
+            # with ROLLBACK — sending Abort now would undo links of a
+            # COMMITTED transaction on a live DLFM. The dlk_indoubt rows
+            # re-drive phase 2 instead.
+            self._reset()
+            return
+        if self.host.db.crashed:
+            # The host database died under us, possibly inside the very
+            # commit force that hardens the decision — whether this
+            # transaction committed is unknowable here. Restart recovery
+            # owns the outcome (re-drive from dlk_indoubt, presumed abort
+            # for the rest); sending Abort now could undo the links of a
+            # transaction whose decision IS in the durable log.
+            self._reset()
+            return
         txn_id = self.txn_id
         self._buffered.clear()   # unflushed ops never reached any DLFM
         for server in sorted(self.participants):
@@ -357,6 +380,7 @@ class HostSession:
         self.txn_id = None
         self.pending_drops = []
         self._buffered = {}
+        self._decided = False
 
     # ------------------------------------------------------------------ DDL with datalinks
 
@@ -422,6 +446,7 @@ class HostSession:
                 "INSERT INTO dlk_indoubt (txn_id, server) VALUES (?, ?)",
                 (txn_id, server))
         yield from self.session.commit()
+        self._decided = True
         for name in self.pending_drops:
             self.host.apply_drop(name)
         self.host.metrics.commits += 1

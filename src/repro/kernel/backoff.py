@@ -1,0 +1,46 @@
+"""Capped exponential backoff with seeded jitter.
+
+Retry loops (phase-2 commit/abort, the delete-group daemon) used to
+sleep a fixed interval between attempts; under contention that
+synchronizes the retries of independent resources into convoys. This
+helper grows the delay geometrically up to a cap and spreads it with a
+deterministic jitter drawn from a named simulator RNG stream, so runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class Backoff:
+    """Delay sequence ``base * factor**n`` capped at ``cap``, jittered.
+
+    ``jitter`` is the relative half-width: a value of 0.1 scales each
+    delay by a uniform factor in [0.9, 1.1]. Pass ``jitter=0`` or no RNG
+    for the exact deterministic sequence.
+    """
+
+    def __init__(self, base: float, factor: float = 2.0,
+                 cap: Optional[float] = None, jitter: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        self.base = max(0.0, base)
+        self.factor = max(1.0, factor)
+        self.cap = cap
+        self.jitter = jitter if rng is not None else 0.0
+        self.rng = rng
+        self.attempts = 0
+
+    def next(self) -> float:
+        """The delay before the next retry; advances the sequence."""
+        delay = self.base * (self.factor ** self.attempts)
+        if self.cap is not None:
+            delay = min(self.cap, delay)
+        self.attempts += 1
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return delay
+
+    def reset(self) -> None:
+        self.attempts = 0

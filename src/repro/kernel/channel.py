@@ -13,8 +13,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from repro.chaos.faults import SEND_KINDS
 from repro.errors import ChannelClosed, ChannelTimeout
-from repro.kernel.sim import TIMEOUT, Event, Simulator
+from repro.kernel.sim import TIMEOUT, Event, Simulator, Timeout
 
 
 @dataclass
@@ -65,6 +66,18 @@ class Channel:
         """Generator: deliver ``message``, blocking until a peer/slot exists."""
         if self.closed:
             raise ChannelClosed(self.name)
+        if self.sim.injector.enabled:
+            rule = self.sim.injector.fire(f"channel.send:{self.name}",
+                                          SEND_KINDS)
+            if rule is not None:
+                if rule.kind == "drop":
+                    # A lost message surfaces at the sender as a transport
+                    # timeout: on a rendezvous channel nobody ever took it.
+                    raise ChannelTimeout(
+                        f"send on {self.name} dropped by fault injection")
+                yield Timeout(rule.delay)
+                if self.closed:
+                    raise ChannelClosed(self.name)
         receiver = self._pop_live_receiver()
         if receiver is not None:
             self.metrics.sends += 1

@@ -13,9 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import SimError
+from repro.chaos.faults import DUP_KINDS
+from repro.errors import ReproError, SimError
 from repro.kernel.channel import Channel
 from repro.kernel.sim import TIMEOUT, Event, Simulator
+
+#: 2PC verbs that are protocol-idempotent (the receiver answers
+#: "already finished" on redelivery) and therefore legal targets for
+#: duplicate-delivery injection.
+IDEMPOTENT_VERBS = frozenset({"Commit", "Abort", "ListIndoubt"})
 
 
 @dataclass
@@ -56,6 +62,18 @@ def cast(sim: Simulator, chan: Channel, payload: Any):
     """
     reply = Event(sim, latch=True, name="rpc-reply")
     yield from chan.send(Envelope(payload, reply))
+    verb = type(payload).__name__
+    if sim.injector.enabled and verb in IDEMPOTENT_VERBS:
+        rule = sim.injector.fire(f"rpc.dup:{verb}", DUP_KINDS)
+        if rule is not None:
+            # At-least-once transport: deliver the request a second time.
+            # The duplicate carries its own reply event (a latched event
+            # must not trigger twice); its outcome is discarded.
+            shadow = Event(sim, latch=True, name="rpc-reply-dup")
+            try:
+                yield from chan.send(Envelope(payload, shadow))
+            except ReproError:
+                pass
     return reply
 
 

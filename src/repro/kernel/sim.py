@@ -8,6 +8,7 @@ import itertools
 import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.chaos.faults import NULL_INJECTOR
 from repro.errors import SimError
 from repro.obs.trace import NULL_TRACER
 
@@ -207,7 +208,13 @@ class Process:
         if self._pending_waiter is not None:
             self._pending_waiter.cancel()
             self._pending_waiter = None
-        self.gen.close()
+        if self.sim._current_proc is not self:
+            # Closing the generator of the *currently executing* process
+            # would throw GeneratorExit into a running frame (crash
+            # injection crashes the node from inside one of its own
+            # processes). Marking it killed is enough: it never steps
+            # again.
+            self.gen.close()
 
     def join(self, timeout: Optional[float] = None) -> Generator:
         """Wait for completion; returns the result or re-raises its error."""
@@ -278,11 +285,13 @@ class Process:
 class Simulator:
     """Virtual clock plus the pending-callback heap."""
 
-    def __init__(self, seed: int = 0, tracer=None):
+    def __init__(self, seed: int = 0, tracer=None, injector=None):
         self.now = 0.0
         self.seed = seed
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind(self)
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.injector.bind(self)
         self._current_proc: Optional[Process] = None
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()

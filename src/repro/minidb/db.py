@@ -114,7 +114,16 @@ class Database:
         if txn.last_lsn is not None:
             self.wal.append(walmod.COMMIT, txn,
                             active_floor=self.txns.active_floor())
+            injector = self.sim.injector
+            if injector.enabled:
+                # Crash with the COMMIT record appended but NOT durable.
+                injector.maybe_crash(f"wal.force.before:{self.name}",
+                                     self.name)
             yield from self._force_wal(txn, "commit")
+            if injector.enabled:
+                # Crash with the record durable but the ack never sent.
+                injector.maybe_crash(f"wal.force.after:{self.name}",
+                                     self.name)
         self.locks.release_all(txn)
         self.txns.end(txn, TxnState.COMMITTED)
         self.metrics.commits += 1
@@ -137,7 +146,12 @@ class Database:
         txn.ensure_active()
         self.wal.append(walmod.PREPARE, txn,
                         active_floor=self.txns.active_floor())
+        injector = self.sim.injector
+        if injector.enabled:
+            injector.maybe_crash(f"wal.force.before:{self.name}", self.name)
         yield from self._force_wal(txn, "prepare")
+        if injector.enabled:
+            injector.maybe_crash(f"wal.force.after:{self.name}", self.name)
         txn.state = TxnState.PREPARED
 
     def _force_wal(self, txn: Transaction, record: str):

@@ -165,6 +165,21 @@ class LockManager:
         txn.ensure_active()
         self.metrics.acquires += 1
 
+        if self.sim.injector.enabled:
+            rule = self.sim.injector.fire(f"lock.acquire:{self.name}",
+                                          ("lock_timeout", "lock_deadlock"))
+            if rule is not None:
+                # Forced victim, following the exact failure paths below.
+                if rule.kind == "lock_timeout":
+                    self.metrics.timeouts += 1
+                    txn.mark_rollback_only("timeout")
+                    raise LockTimeoutError(
+                        f"txn {txn.id} injected lock timeout on {resource!r}")
+                self.metrics.deadlocks += 1
+                txn.mark_rollback_only("deadlock")
+                raise DeadlockError(
+                    f"txn {txn.id} injected deadlock victim on {resource!r}")
+
         if not is_table_resource(resource):
             table = resource_table(resource)
             covering = self._table_mode(txn, table)

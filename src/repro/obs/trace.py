@@ -80,6 +80,10 @@ class NullTracer:
     def event(self, name: str, **attrs) -> None:
         pass
 
+    def count(self, name: str, key: Optional[str] = None,
+              amount: int = 1) -> None:
+        pass
+
 
 #: Shared disabled tracer; ``Simulator`` uses it unless given a real one.
 NULL_TRACER = NullTracer()
@@ -155,6 +159,14 @@ class Tracer(NullTracer):
         """Record an instantaneous event (no duration)."""
         self._record("event", name, next(self._ids), None,
                      self._proc_name(), attrs)
+
+    def count(self, name: str, key: Optional[str] = None,
+              amount: int = 1) -> None:
+        """Bump the registry counter ``<name>.<key>`` (e.g. per-resource
+        ``retries.fs1.commit``); a no-op without a registry."""
+        if self.registry is not None:
+            full = f"{name}.{key}" if key else name
+            self.registry.counter(full).inc(amount)
 
     def _start(self, span: _Span) -> None:
         process = self._proc_name()

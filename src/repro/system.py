@@ -23,9 +23,10 @@ class System:
     def __init__(self, seed: int = 0, servers: tuple[str, ...] = ("fs1",),
                  dlfm_config: Optional[DLFMConfig] = None,
                  host_config: Optional[HostConfig] = None,
-                 dbid: str = "hostdb", tracer=None):
-        self.sim = Simulator(seed=seed, tracer=tracer)
+                 dbid: str = "hostdb", tracer=None, injector=None):
+        self.sim = Simulator(seed=seed, tracer=tracer, injector=injector)
         self.tracer = self.sim.tracer
+        self.injector = self.sim.injector
         self.archive = ArchiveServer(self.sim)
         self.servers: dict[str, FileServer] = {}
         self.dlfms: dict[str, DLFM] = {}
@@ -36,7 +37,9 @@ class System:
             dlfm.start()
             self.servers[name] = server
             self.dlfms[name] = dlfm
+            self.injector.register_crash(dlfm.db.name, dlfm.crash)
         self.host = HostDB(self.sim, dbid, self.dlfms, host_config)
+        self.injector.register_crash(self.host.db.name, self.host.crash)
 
     # ------------------------------------------------------------------ running
 
