@@ -52,12 +52,22 @@ class BenchConfig:
     group_commit_window: float = 0.05
     e1_clients: int = 16
     e1_duration: float = 300.0
+    #: Archive backlog size for the daemon drain arm (the acceptance
+    #: gate is quoted at ≥200 files).
+    drain_files: int = 200
+    #: Copy workers in the pooled drain arm (vs 1 in the serial arm).
+    drain_workers: int = 4
+    #: Concurrent restore callers in the restore-storm arm.
+    storm_restores: int = 64
+    #: Retrieve workers in the pooled storm arm (vs 1 serial).
+    storm_workers: int = 4
     quick: bool = False
 
     @classmethod
     def quick_config(cls, seed: int = 42) -> "BenchConfig":
-        """CI-scale: the bulk arms are already cheap (<1 s wall each),
-        so keep them at full scale and shrink only the E1 workload."""
+        """CI-scale: the bulk and daemon arms are already cheap (<1 s
+        wall each), so keep them at full scale and shrink only the E1
+        workload."""
         return cls(seed=seed, e1_clients=6, e1_duration=60.0, quick=True)
 
 
@@ -207,6 +217,109 @@ def run_e1_arm(cfg: BenchConfig, fast: bool) -> dict:
         "p95_latency_s": report.latency_percentile(95),
         "p99_latency_s": report.latency_percentile(99),
     }
+
+
+# --------------------------------------------------------------------- daemons
+
+def run_archive_drain_arm(cfg: BenchConfig, workers: int) -> dict:
+    """A backlog of ``drain_files`` recovery=yes links drained by ONE
+    Copy-daemon sweep. The archive server charges simulated transfer
+    time, so the sweep's duration measures how well the claimed batch
+    pipelines across the worker pool (serial: backlog × per-file cost)."""
+    dlfm_config = DLFMConfig.tuned()
+    dlfm_config.copy_workers = workers
+    # Keep the periodic sweeper out of the measured window; the arm
+    # drives the sweep directly.
+    dlfm_config.copy_period = 1e6
+    system = System(seed=cfg.seed, dlfm_config=dlfm_config,
+                    archive_charge_time=True)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "docs", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=True)})
+        session = system.session()
+        for i in range(cfg.drain_files):
+            path = f"/docs/f{i:05d}"
+            system.create_user_file("fs1", path, owner="load",
+                                    content="x" * 500)
+            yield from session.execute(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                (i, build_url("fs1", path)))
+            if (i + 1) % 50 == 0:
+                yield from session.commit()
+        yield from session.commit()
+
+    system.run(setup())
+    dlfm = system.dlfms["fs1"]
+    started = system.sim.now
+    archived = system.run(dlfm.copyd.sweep(), "drain")
+    return {
+        "workers": workers,
+        "backlog": cfg.drain_files,
+        "archived": archived,
+        "drain_sim_s": round(system.sim.now - started, 6),
+        "claimed": dlfm.copyd.claimed,
+        "queue_max_depth": dlfm.copyd.pool.metrics.max_depth,
+    }
+
+
+def run_restore_storm_arm(cfg: BenchConfig, workers: int) -> dict:
+    """``storm_restores`` concurrent restore() callers against a
+    pre-seeded archive (the post-PIT-restore storm of §3.5); each
+    restore pays an archive fetch plus a Chown handoff, so workers
+    pipeline fetches that a serial daemon serves one at a time."""
+    dlfm_config = DLFMConfig.tuned()
+    dlfm_config.retrieve_workers = workers
+    system = System(seed=cfg.seed, dlfm_config=dlfm_config,
+                    archive_charge_time=True)
+    dlfm = system.dlfms["fs1"]
+
+    def seed_archive():
+        for i in range(cfg.storm_restores):
+            yield from dlfm.archive.store(
+                "fs1", f"/lost/f{i:05d}", f"rid{i:05d}", "y" * 500,
+                owner="alice", group="users", mode=0o640)
+
+    system.run(seed_archive())
+    started = system.sim.now
+    latencies: list[float] = []
+
+    def one_restore(i: int):
+        t0 = system.sim.now
+        yield from dlfm.retrieved.restore(f"/lost/f{i:05d}", f"rid{i:05d}")
+        latencies.append(system.sim.now - t0)
+
+    def storm():
+        procs = [system.sim.spawn(one_restore(i), f"restore-{i}")
+                 for i in range(cfg.storm_restores)]
+        for proc in procs:
+            yield from proc.join()
+
+    system.run(storm())
+    return {
+        "workers": workers,
+        "restores": cfg.storm_restores,
+        "restored": dlfm.retrieved.restored,
+        "drain_sim_s": round(system.sim.now - started, 6),
+        "p50_restore_s": _percentile(latencies, 50),
+        "p95_restore_s": _percentile(latencies, 95),
+    }
+
+
+def run_daemon_arms(cfg: BenchConfig) -> dict:
+    """Serial-vs-pooled arms for the parallel daemon work."""
+    drain = {"serial": run_archive_drain_arm(cfg, 1),
+             "pooled": run_archive_drain_arm(cfg, cfg.drain_workers)}
+    drain["speedup"] = round(
+        drain["serial"]["drain_sim_s"]
+        / max(drain["pooled"]["drain_sim_s"], 1e-9), 2)
+    storm = {"serial": run_restore_storm_arm(cfg, 1),
+             "pooled": run_restore_storm_arm(cfg, cfg.storm_workers)}
+    storm["speedup"] = round(
+        storm["serial"]["drain_sim_s"]
+        / max(storm["pooled"]["drain_sim_s"], 1e-9), 2)
+    return {"archive_drain": drain, "restore_storm": storm}
 
 
 # --------------------------------------------------------------------- sentinels
@@ -366,6 +479,29 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 
 # --------------------------------------------------------------------- driver
 
+#: The history row this tree's harness writes. Bump per PR so the
+#: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
+#: tree only refreshes its own row).
+HISTORY_LABEL = "pr4-parallel-daemon-pools"
+
+
+def update_history(history: list | None, entry: dict) -> list:
+    """Append ``entry`` to the trajectory, replacing (in place in the
+    ordering) an existing row with the same label. Rows from other PRs
+    are preserved — the whole point of the trajectory."""
+    updated = []
+    replaced = False
+    for row in history or []:
+        if row.get("label") == entry["label"]:
+            updated.append(entry)
+            replaced = True
+        else:
+            updated.append(row)
+    if not replaced:
+        updated.append(entry)
+    return updated
+
+
 def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     """Run the whole harness and return the BENCH_PERF document."""
     started = time.monotonic()
@@ -376,24 +512,28 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "wal_force_reduction": round(
             base["wal_forces"] / max(fast["wal_forces"], 1), 2),
     }
+    daemons = run_daemon_arms(cfg)
     e1 = {"off": run_e1_arm(cfg, fast=False),
           "on": run_e1_arm(cfg, fast=True)}
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
-    headline = (f"{ratios['rpc_reduction']}x fewer RPCs, "
-                f"{ratios['wal_force_reduction']}x fewer WAL forces "
-                f"at {cfg.links} links/txn")
+    headline = (
+        f"archive drain {daemons['archive_drain']['speedup']}x with "
+        f"{cfg.drain_workers} copy workers, restore storm "
+        f"{daemons['restore_storm']['speedup']}x with "
+        f"{cfg.storm_workers} retrieve workers "
+        f"({cfg.drain_files}-file backlog)")
     entry = {
-        "label": "pr2-batched-rpcs-group-commit",
+        "label": HISTORY_LABEL,
         "headline": headline,
         "rpc_reduction": ratios["rpc_reduction"],
         "wal_force_reduction": ratios["wal_force_reduction"],
+        "archive_drain_speedup": daemons["archive_drain"]["speedup"],
+        "restore_storm_speedup": daemons["restore_storm"]["speedup"],
         "e1_p95_on_s": e1["on"]["p95_latency_s"],
         "e1_p95_off_s": e1["off"]["p95_latency_s"],
     }
-    history = [h for h in (history or [])
-               if h.get("label") != entry["label"]]
-    history.append(entry)
+    history = update_history(history, entry)
     return {
         "schema": 1,
         "seed": cfg.seed,
@@ -404,9 +544,14 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "group_commit_window": cfg.group_commit_window,
             "e1_clients": cfg.e1_clients,
             "e1_duration": cfg.e1_duration,
+            "drain_files": cfg.drain_files,
+            "drain_workers": cfg.drain_workers,
+            "storm_restores": cfg.storm_restores,
+            "storm_workers": cfg.storm_workers,
             "quick": cfg.quick,
         },
         "bulk": {"arms": arms, "ratios": ratios},
+        "daemons": daemons,
         "e1": e1,
         "sentinels": sentinels,
         "history": history,
@@ -425,6 +570,17 @@ def check(doc: dict) -> list[str]:
     if ratios["wal_force_reduction"] < 2:
         failures.append(
             f"wal_force_reduction {ratios['wal_force_reduction']} < 2x")
+    daemons = doc.get("daemons", {})
+    drain = daemons.get("archive_drain", {})
+    if drain.get("speedup", 0) < 3:
+        failures.append(
+            f"archive_drain speedup {drain.get('speedup')} < 3x with "
+            f"{drain.get('pooled', {}).get('workers')} copy workers")
+    storm = daemons.get("restore_storm", {})
+    if storm.get("speedup", 0) < 2:
+        failures.append(
+            f"restore_storm speedup {storm.get('speedup')} < 2x with "
+            f"{storm.get('pooled', {}).get('workers')} retrieve workers")
     for name, sentinel in doc["sentinels"].items():
         if not sentinel["preserved"]:
             failures.append(f"sentinel {name} outcome NOT preserved")

@@ -20,6 +20,12 @@ point                      kinds                     wired into
                            lock_deadlock             lock-manager entry
 ``daemon.pass:<node>:<d>`` crash                     daemon pass entry
                                                      (copyd, gcd, delgrpd)
+``daemon.worker:<node>:<d>`` crash                   pool-worker item
+                                                     pickup (copyd,
+                                                     retrieved, delgrpd):
+                                                     after the claim/
+                                                     dispatch, before the
+                                                     work
 ========================== ========================= =====================
 
 Determinism: every probabilistic decision draws from a per-rule RNG
@@ -294,4 +300,11 @@ def default_plan(seed: int = 0) -> FaultPlan:
                   max_fires=1),
         FaultRule("daemon.pass:*:copyd", "crash", prob=0.01, max_fires=1),
         FaultRule("daemon.pass:*:delgrpd", "crash", prob=0.01, max_fires=1),
+        # Pool-worker crashes land between claim/dispatch and the work —
+        # the window the copyd claim protocol and the delgrpd restart
+        # rescan must cover. (retrieved is left out: crashing a restore
+        # worker strands its synchronous caller by design.)
+        FaultRule("daemon.worker:*:copyd", "crash", prob=0.01, max_fires=1),
+        FaultRule("daemon.worker:*:delgrpd", "crash", prob=0.01,
+                  max_fires=1),
     ])

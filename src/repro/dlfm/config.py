@@ -26,6 +26,23 @@ class DLFMConfig:
     batch_commit_n: int = 50
     #: Period of the Copy daemon's archive-table sweep (seconds).
     copy_period: float = 5.0
+    #: Copy-daemon worker processes: entries claimed by one sweep are
+    #: archived (transfer + local commit) by up to this many workers in
+    #: parallel. 1 reproduces the historical strictly-serial daemon.
+    copy_workers: int = 1
+    #: Capacity of the Copy daemon's claimed-work queue (0 = rendezvous
+    #: handoff: the sweeper blocks until a worker is free).
+    copy_queue_capacity: int = 0
+    #: Retrieve-daemon worker processes serving concurrent restores.
+    retrieve_workers: int = 1
+    #: Capacity of the Retrieve daemon's request channel (restore
+    #: callers beyond workers + this many queued requests block).
+    retrieve_queue_capacity: int = 16
+    #: Delete-Group daemon workers draining group deletes; >1 overlaps
+    #: the batched deletes of independent transactions with the scan.
+    delgrp_workers: int = 1
+    #: Capacity of the Delete-Group daemon's notification channel.
+    delgrp_queue_capacity: int = 64
     #: Period of the Garbage Collector daemon (seconds).
     gc_period: float = 600.0
     #: Lifetime of a deleted file group before GC removes its metadata.

@@ -7,6 +7,15 @@ with a local commit per batch** so one huge group cannot blow the log or
 escalate locks (lesson §4, experiment E8). Because the transaction-table
 entry stays in state ``committed`` until the work is done, a DLFM crash
 mid-way is resumed by a restart rescan (§3.5).
+
+With ``DLFMConfig.delgrp_workers > 1`` the batched deletes of
+independent transactions overlap: the ``run()`` process stays the single
+intake (so killing it freezes the daemon, as the freeze tests rely on)
+but hands each transaction to a :class:`~repro.kernel.pool.WorkerPool`
+worker. The ``_active`` set dispatches each (dbid, txn_id) at most once
+even when a notify races the restart rescan; crash safety is unchanged —
+a worker crash leaves the ``committed`` dfm_txn row in place and the
+restart rescan resumes it.
 """
 
 from __future__ import annotations
@@ -14,18 +23,39 @@ from __future__ import annotations
 from repro.dlfm import schema
 from repro.errors import RETRIABLE_FAULTS, ChannelClosed
 from repro.kernel.channel import Channel
+from repro.kernel.pool import WorkerPool
 from repro.kernel.sim import Timeout
 
 
 class DeleteGroupDaemon:
     def __init__(self, dlfm):
         self.dlfm = dlfm
-        self.chan = Channel(dlfm.sim, capacity=64, name="delgrpd")
+        self.chan = Channel(dlfm.sim,
+                            capacity=dlfm.config.delgrp_queue_capacity,
+                            name="delgrpd")
         self.rescan_needed = True
         self.groups_processed = 0
         self.files_unlinked = 0
         self.batch_commits = 0
         self.log_fulls = 0
+        self._active: set = set()
+        self.pool = WorkerPool(
+            dlfm.sim, f"{dlfm.name}-delgrpd", self._process_one,
+            workers=dlfm.config.delgrp_workers,
+            crash_point=f"daemon.worker:{dlfm.name}:delgrpd",
+            crash_node=dlfm.db.name)
+
+    def start_workers(self):
+        self._active.clear()
+        return self.pool.start()
+
+    def stop_workers(self) -> None:
+        self.pool.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        """Commit notifications accepted but not yet dispatched."""
+        return self.chan.pending
 
     def notify(self, dbid: str, txn_id: int):
         """Generator: commit processing hands over a transaction id."""
@@ -40,17 +70,33 @@ class DeleteGroupDaemon:
                 dbid, txn_id = yield from self.chan.recv()
             except ChannelClosed:
                 return
+            yield from self._submit((dbid, txn_id))
+
+    def _submit(self, key):
+        """Generator: dispatch one txn to the pool, at most once."""
+        if key in self._active:
+            return  # already queued or draining (notify raced a rescan)
+        self._active.add(key)
+        yield from self.pool.submit(key)
+
+    def _process_one(self, key):
+        dbid, txn_id = key
+        try:
             yield from self.process_txn(dbid, txn_id)
+        finally:
+            self._active.discard(key)
 
     def _rescan_committed(self):
-        """After restart: resume every committed txn with pending groups."""
+        """After restart (and at quiesce): resume every committed txn
+        with pending groups; completes only when all are drained."""
         session = self.dlfm.db.session()
         rows = yield from session.execute(
             "SELECT dbid, txn_id FROM dfm_txn WHERE state = ?",
             (schema.TXN_COMMITTED,))
         yield from session.commit()
         for dbid, txn_id in rows:
-            yield from self.process_txn(dbid, txn_id)
+            yield from self._submit((dbid, txn_id))
+        yield from self.pool.drain()
 
     def process_txn(self, dbid: str, txn_id: int):
         """Generator: unlink all files of all groups this txn deleted."""

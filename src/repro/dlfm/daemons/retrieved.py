@@ -5,22 +5,57 @@ files that no longer exist on disk are fetched from the archive server
 (by their recovery id, which identifies the exact version) and recreated
 through the Chown daemon (root privilege needed — the file may belong to
 any user).
+
+Restores are served by a :class:`~repro.kernel.pool.WorkerPool` of
+``DLFMConfig.retrieve_workers`` processes so a post-restore "restore
+storm" pipelines archive fetches with Chown handoffs instead of
+draining one file at a time; the request backlog is bounded by
+``DLFMConfig.retrieve_queue_capacity`` (callers beyond that block, which
+is the intended backpressure). The ``run()`` process stays the single
+intake so killing it freezes the daemon exactly as before.
 """
 
 from __future__ import annotations
 
+from repro.errors import ChannelClosed, ReproError
 from repro.kernel.channel import Channel
-from repro.kernel.rpc import call, serve_loop
+from repro.kernel.pool import WorkerPool
+from repro.kernel.rpc import call
 
 
 class RetrieveDaemon:
     def __init__(self, dlfm):
         self.dlfm = dlfm
-        self.chan = Channel(dlfm.sim, capacity=16, name="retrieved")
+        self.chan = Channel(dlfm.sim,
+                            capacity=dlfm.config.retrieve_queue_capacity,
+                            name="retrieved")
         self.restored = 0
+        self.pool = WorkerPool(
+            dlfm.sim, f"{dlfm.name}-retrieved", self._serve_one,
+            workers=dlfm.config.retrieve_workers,
+            crash_point=f"daemon.worker:{dlfm.name}:retrieved",
+            crash_node=dlfm.db.name)
+
+    def start_workers(self):
+        return self.pool.start()
+
+    def stop_workers(self) -> None:
+        self.pool.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        """Restore requests accepted but not yet handed to a worker."""
+        return self.chan.pending
 
     def run(self):
-        yield from serve_loop(self.chan, self._dispatch)
+        """Intake loop: hand each request to the pool (rendezvous, so at
+        most ``retrieve_workers`` restores are in flight at once)."""
+        while True:
+            try:
+                envelope = yield from self.chan.recv()
+            except ChannelClosed:
+                return
+            yield from self.pool.submit(envelope)
 
     # -- client side ----------------------------------------------------------
 
@@ -31,6 +66,16 @@ class RetrieveDaemon:
         return result
 
     # -- server side -----------------------------------------------------------
+
+    def _serve_one(self, envelope):
+        """Pool handler: one request → dispatch → reply (the body of
+        ``rpc.serve_loop``, run concurrently per worker)."""
+        try:
+            result = yield from self._dispatch(envelope.payload)
+        except ReproError as error:
+            envelope.reply.trigger(("err", error))
+        else:
+            envelope.reply.trigger(("ok", result))
 
     def _dispatch(self, payload: dict):
         dlfm = self.dlfm

@@ -94,16 +94,25 @@ class DLFM:
         self.upcalld = UpcallDaemon(self)
         self.filter.set_upcall(self.upcalld.query)
         self._daemon_procs: list = []
+        self._pool_procs: list = []
         self._agents: list = []
         self.running = False
 
     # ------------------------------------------------------------------ lifecycle
 
     def start(self) -> None:
-        """Spawn the service daemons (the paper's Figure 5 process model)."""
+        """Spawn the service daemons (the paper's Figure 5 process model).
+
+        Worker pools start before the intake daemons so no dispatcher
+        ever submits into a dead pool; their processes are tracked
+        separately from the six service daemons.
+        """
         if self.running:
             return
         self.running = True
+        self._pool_procs = (self.copyd.start_workers()
+                            + self.retrieved.start_workers()
+                            + self.delete_groupd.start_workers())
         spawn = self.sim.spawn
         self._daemon_procs = [
             spawn(self.chown.run(), f"{self.name}-chownd"),
@@ -119,6 +128,10 @@ class DLFM:
             if not proc.finished:
                 proc.kill()
         self._daemon_procs = []
+        self.copyd.stop_workers()
+        self.retrieved.stop_workers()
+        self.delete_groupd.stop_workers()
+        self._pool_procs = []
         self.running = False
 
     def connect(self):
@@ -165,6 +178,20 @@ class DLFM:
                        cap=self.config.commit_retry_max_delay,
                        jitter=self.config.commit_retry_jitter,
                        rng=self.sim.stream(f"retry:{self.name}:{what}"))
+
+    def daemon_counters(self) -> dict:
+        """Flat integer queue/claim/pool counters for a metrics registry."""
+        counters = {
+            "copyd_claimed": self.copyd.claimed,
+            "copyd_reclaimed": self.copyd.reclaimed,
+            "copyd_conflicts": self.copyd.conflicts,
+            "retrieved_queue_depth": self.retrieved.queue_depth,
+            "delgrpd_queue_depth": self.delete_groupd.queue_depth,
+        }
+        for daemon in (self.copyd, self.retrieved, self.delete_groupd):
+            prefix = daemon.pool.name.rsplit("-", 1)[-1]
+            counters.update(daemon.pool.metrics.snapshot(prefix))
+        return counters
 
     # ------------------------------------------------------------------ statistics guard
 
@@ -555,11 +582,15 @@ class DLFM:
     def op_ensure_archived(self, req: api.EnsureArchived):
         """Generator: backup coordination (§3.4) — every file linked up to
         the watermark must have an archive copy before the host declares
-        its backup successful; pending ones are copied with priority."""
+        its backup successful; pending ones are copied with priority.
+        Entries claimed by the Copy daemon's workers are waited out
+        first (pool drain) so the backup never races an in-flight
+        archive transfer, then whatever is left — pending or stale
+        inflight — is copied synchronously."""
+        yield from self.copyd.pool.drain()
         session = self.db.session()
         pending = yield from session.execute(
-            "SELECT filename, recovery_id FROM dfm_archive WHERE state = ?",
-            ("pending",))
+            "SELECT filename, recovery_id FROM dfm_archive")
         yield from session.commit()
         if pending.rows:
             yield from self.copyd.archive_priority(list(pending.rows))

@@ -30,13 +30,16 @@ from repro.kernel.sim import (
     run_to_completion,
 )
 from repro.kernel.channel import Channel
+from repro.kernel.pool import PoolMetrics, WorkerPool
 
 __all__ = [
     "TIMEOUT",
     "Channel",
     "Event",
+    "PoolMetrics",
     "Process",
     "Simulator",
     "Timeout",
+    "WorkerPool",
     "run_to_completion",
 ]

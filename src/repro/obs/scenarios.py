@@ -117,6 +117,8 @@ def _import_counters(registry, system) -> None:
     for name, dlfm in sorted(system.dlfms.items()):
         registry.register_counters(f"dlfm.{name}",
                                    dict(dlfm.metrics.__dict__))
+        registry.register_counters(f"daemon.{name}",
+                                   dlfm.daemon_counters())
         registry.register_counters(f"locks.{name}",
                                    dlfm.db.locks.metrics.snapshot())
         registry.register_counters(f"wal.{name}",
