@@ -190,7 +190,7 @@ def scenario_g():
 
     result = system.run(go())
     clean = result["fs1"] == {"relinked": 0, "removed": 0, "dangling": [],
-                              "nulled": 0}
+                              "conflicts": [], "nulled": 0}
     linked_ok = dlfm.linked_count() == 3
     file_back = system.servers["fs1"].fs.exists("/x/f00")
     return clean and linked_ok and file_back

@@ -61,6 +61,13 @@ class BenchConfig:
     storm_restores: int = 64
     #: Retrieve workers in the pooled storm arm (vs 1 serial).
     storm_workers: int = 4
+    #: Concurrent clients in the multi-server commit arm.
+    ms_clients: int = 6
+    #: Commit transactions per client in the multi-server arm.
+    ms_txns: int = 3
+    #: Participant counts swept by the multi-server arm (the acceptance
+    #: gate is quoted at the largest).
+    ms_server_counts: tuple = (1, 2, 4)
     quick: bool = False
 
     @classmethod
@@ -322,6 +329,82 @@ def run_daemon_arms(cfg: BenchConfig) -> dict:
     return {"archive_drain": drain, "restore_storm": storm}
 
 
+# --------------------------------------------------------------- multi-server
+
+def run_multi_server_arm(cfg: BenchConfig, n_servers: int,
+                         scatter: bool) -> dict:
+    """K clients, each transaction linking one file on EVERY server, so
+    commit fans 2PC out to ``n_servers`` participants. The historical
+    serial coordinator pays each participant's prepare and phase-2
+    commit cost sequentially; scatter-gather overlaps them, so commit
+    latency approaches the slowest single participant instead of the
+    sum."""
+    servers = tuple(f"fs{i + 1}" for i in range(n_servers))
+    timing = TimingModel.calibrated()
+    dlfm_config = DLFMConfig.tuned(timing=timing)
+    host_config = HostConfig(batch_datalinks=True, sync_commit=True,
+                             scatter_gather=scatter)
+    host_config.db.timing = timing
+    host_config.db.next_key_locking = False
+    host_config.db.isolation = "CS"
+    system = System(seed=cfg.seed, servers=servers,
+                    dlfm_config=dlfm_config, host_config=host_config)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "ms", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+
+    system.run(setup())
+    commit_latencies: list[float] = []
+
+    def client(cid: int):
+        session = system.session()
+        for t in range(cfg.ms_txns):
+            for s, server in enumerate(servers):
+                row_id = (cid * 1_000 + t) * 10 + s
+                path = f"/ms/c{cid}/t{t}/s{s}"
+                system.create_user_file(server, path, owner=f"c{cid}")
+                yield from session.execute(
+                    "INSERT INTO ms (id, doc) VALUES (?, ?)",
+                    (row_id, build_url(server, path)))
+            started = system.sim.now
+            yield from session.commit()
+            commit_latencies.append(system.sim.now - started)
+
+    def root():
+        procs = [system.sim.spawn(client(i), f"ms-client-{i}")
+                 for i in range(cfg.ms_clients)]
+        for proc in procs:
+            yield from proc.join()
+
+    system.run(root())
+    return {
+        "servers": n_servers,
+        "mode": "scatter" if scatter else "serial",
+        "txns": cfg.ms_clients * cfg.ms_txns,
+        "p50_commit_s": _percentile(commit_latencies, 50),
+        "p95_commit_s": _percentile(commit_latencies, 95),
+        "sim_seconds": round(system.sim.now, 6),
+    }
+
+
+def run_multi_server(cfg: BenchConfig) -> dict:
+    """Serial-vs-scatter 2PC commit latency at 1/2/4 participants."""
+    out = {}
+    for n in cfg.ms_server_counts:
+        serial = run_multi_server_arm(cfg, n, scatter=False)
+        fanned = run_multi_server_arm(cfg, n, scatter=True)
+        out[str(n)] = {
+            "serial": serial,
+            "scatter": fanned,
+            "p95_speedup": round(
+                serial["p95_commit_s"]
+                / max(fanned["p95_commit_s"], 1e-9), 2),
+        }
+    return out
+
+
 # --------------------------------------------------------------------- sentinels
 
 def run_e6_sentinel(horizon: float = 300.0) -> dict:
@@ -482,7 +565,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr4-parallel-daemon-pools"
+HISTORY_LABEL = "pr5-scatter-gather-2pc"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -513,16 +596,19 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             base["wal_forces"] / max(fast["wal_forces"], 1), 2),
     }
     daemons = run_daemon_arms(cfg)
+    multi_server = run_multi_server(cfg)
+    top = str(max(cfg.ms_server_counts))
     e1 = {"off": run_e1_arm(cfg, fast=False),
           "on": run_e1_arm(cfg, fast=True)}
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
     headline = (
+        f"scatter-gather 2PC commit p95 "
+        f"{multi_server[top]['p95_speedup']}x at {top} participants; "
         f"archive drain {daemons['archive_drain']['speedup']}x with "
         f"{cfg.drain_workers} copy workers, restore storm "
         f"{daemons['restore_storm']['speedup']}x with "
-        f"{cfg.storm_workers} retrieve workers "
-        f"({cfg.drain_files}-file backlog)")
+        f"{cfg.storm_workers} retrieve workers")
     entry = {
         "label": HISTORY_LABEL,
         "headline": headline,
@@ -530,6 +616,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "wal_force_reduction": ratios["wal_force_reduction"],
         "archive_drain_speedup": daemons["archive_drain"]["speedup"],
         "restore_storm_speedup": daemons["restore_storm"]["speedup"],
+        "multi_server_p95_speedup": multi_server[top]["p95_speedup"],
         "e1_p95_on_s": e1["on"]["p95_latency_s"],
         "e1_p95_off_s": e1["off"]["p95_latency_s"],
     }
@@ -548,10 +635,14 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "drain_workers": cfg.drain_workers,
             "storm_restores": cfg.storm_restores,
             "storm_workers": cfg.storm_workers,
+            "ms_clients": cfg.ms_clients,
+            "ms_txns": cfg.ms_txns,
+            "ms_server_counts": list(cfg.ms_server_counts),
             "quick": cfg.quick,
         },
         "bulk": {"arms": arms, "ratios": ratios},
         "daemons": daemons,
+        "multi_server": multi_server,
         "e1": e1,
         "sentinels": sentinels,
         "history": history,
@@ -581,6 +672,11 @@ def check(doc: dict) -> list[str]:
         failures.append(
             f"restore_storm speedup {storm.get('speedup')} < 2x with "
             f"{storm.get('pooled', {}).get('workers')} retrieve workers")
+    four = doc.get("multi_server", {}).get("4", {})
+    if four.get("p95_speedup", 0) < 2.5:
+        failures.append(
+            f"multi_server p95 commit speedup {four.get('p95_speedup')} "
+            f"< 2.5x at 4 participants")
     for name, sentinel in doc["sentinels"].items():
         if not sentinel["preserved"]:
             failures.append(f"sentinel {name} outcome NOT preserved")

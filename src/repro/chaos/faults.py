@@ -26,6 +26,15 @@ point                      kinds                     wired into
                                                      after the claim/
                                                      dispatch, before the
                                                      work
+``twopc.fanout:<phase>``   delay, crash              2PC coordinator
+                                                     scatter→gather window
+                                                     (phase ``prepare`` or
+                                                     ``phase2``): requests
+                                                     in flight to every
+                                                     participant, replies
+                                                     not yet gathered;
+                                                     crash node is the
+                                                     host database
 ========================== ========================= =====================
 
 Determinism: every probabilistic decision draws from a per-rule RNG
@@ -307,4 +316,14 @@ def default_plan(seed: int = 0) -> FaultPlan:
         FaultRule("daemon.worker:*:copyd", "crash", prob=0.01, max_fires=1),
         FaultRule("daemon.worker:*:delgrpd", "crash", prob=0.01,
                   max_fires=1),
+        # 2PC fan-out windows: stall the coordinator while every
+        # participant's request is in flight, and crash it there once per
+        # phase — prepare-window crashes resolve by presumed abort, the
+        # phase-2 window by dlk_indoubt re-drive at restart.
+        FaultRule("twopc.fanout:prepare", "delay", prob=0.05,
+                  max_fires=None, delay=0.25),
+        FaultRule("twopc.fanout:prepare", "crash", prob=0.01, max_fires=1),
+        FaultRule("twopc.fanout:phase2", "delay", prob=0.05,
+                  max_fires=None, delay=0.25),
+        FaultRule("twopc.fanout:phase2", "crash", prob=0.01, max_fires=1),
     ])

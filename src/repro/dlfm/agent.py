@@ -29,6 +29,11 @@ class ChildAgent:
         self.current: Optional[tuple[str, int]] = None
         self.prepared = False
         self.failed = False
+        #: True once any op of the current transaction changed local
+        #: state. A transaction that stays False (its only ops failed and
+        #: were rolled back to their statement savepoints) has nothing to
+        #: harden: Prepare answers with the read-only vote instead.
+        self.wrote = False
         self.requests = 0
 
     def serve(self):
@@ -67,6 +72,9 @@ class ChildAgent:
             return (yield from self._forward(req))
         if isinstance(req, api.CommitPiece):
             self._check_txn(req)
+            # A committed piece is already durable: the transaction can
+            # never vote read-only, whatever happens afterwards.
+            self.wrote = True
             return (yield from self.dlfm.op_commit_piece(self.session, req))
         if isinstance(req, api.Prepare):
             return (yield from self._prepare(req))
@@ -94,6 +102,7 @@ class ChildAgent:
         self.current = (req.dbid, req.txn_id)
         self.prepared = False
         self.failed = False
+        self.wrote = False
         return {"started": True}
 
     def _check_txn(self, req) -> None:
@@ -110,14 +119,21 @@ class ChildAgent:
                 "abort the whole transaction", reason="failed")
         try:
             if isinstance(req, api.LinkFile):
-                return (yield from self.dlfm.op_link_file(self.session, req))
-            if isinstance(req, api.UnlinkFile):
-                return (yield from self.dlfm.op_unlink_file(self.session,
-                                                            req))
-            if isinstance(req, api.RegisterGroup):
-                return (yield from self.dlfm.op_register_group(self.session,
-                                                               req))
-            return (yield from self.dlfm.op_delete_group(self.session, req))
+                result = yield from self.dlfm.op_link_file(self.session, req)
+            elif isinstance(req, api.UnlinkFile):
+                result = yield from self.dlfm.op_unlink_file(self.session,
+                                                             req)
+            elif isinstance(req, api.RegisterGroup):
+                result = yield from self.dlfm.op_register_group(self.session,
+                                                                req)
+            else:
+                result = yield from self.dlfm.op_delete_group(self.session,
+                                                              req)
+            # Only a SUCCESSFUL op dirties the transaction: a failed one
+            # was rolled back to its statement savepoint and left no
+            # local state behind.
+            self.wrote = True
+            return result
         except TransactionAborted:
             # A severe local error (deadlock/timeout/log-full) already
             # rolled the local transaction back; the host database will
@@ -174,6 +190,18 @@ class ChildAgent:
         if self.failed:
             raise TransactionAborted("cannot prepare a failed transaction",
                                      reason="failed")
+        if not self.wrote:
+            # Read-only participant optimization: the local transaction
+            # changed nothing, so there is nothing to harden and no
+            # in-doubt exposure — release the local session now and let
+            # the coordinator skip this server in phase 2 (no dfm_txn
+            # entry, no dlk_indoubt decision row, no Commit RPC).
+            if self.session is not None:
+                yield from self.session.rollback()
+            self.dlfm.metrics.readonly_votes += 1
+            self.dlfm.sim.tracer.count("readonly_votes", self.dlfm.name)
+            self._finish(req)
+            return {"vote": "read-only"}
         result = yield from self.dlfm.op_prepare(self.session, req)
         self.prepared = True
         return result
@@ -206,3 +234,4 @@ class ChildAgent:
             self.session = None
             self.prepared = False
             self.failed = False
+            self.wrote = False

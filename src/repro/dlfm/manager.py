@@ -53,6 +53,9 @@ class DLFMMetrics:
     link_errors: int = 0
     backouts: int = 0
     prepares: int = 0
+    #: Prepares answered with the read-only vote (nothing hardened,
+    #: participant released at end of phase 1, no phase-2 exposure).
+    readonly_votes: int = 0
     commits: int = 0
     aborts: int = 0
     commit_retries: int = 0
@@ -395,7 +398,7 @@ class DLFM:
                  req.txn_id))
         yield from session.commit()  # the vote: local database hardened
         self.metrics.prepares += 1
-        return {"vote": "yes"}
+        return {"vote": "commit"}
 
     def op_commit(self, req: api.Commit):
         """Generator: phase 2 commit — retry until it succeeds (Fig. 4)."""

@@ -39,6 +39,14 @@ class HostConfig:
     #: the commit-time flush (aborting the transaction) instead of at the
     #: originating statement (statement-level backout). See DESIGN.md §9.
     batch_datalinks: bool = False
+    #: Scatter-gather 2PC fan-out: prepare all participants concurrently
+    #: in phase 1 and send the phase-2 Commit/Abort verbs concurrently,
+    #: so an N-server transaction pays ~1 round-trip per phase instead
+    #: of N. False reproduces the historical serial coordinator (the
+    #: bench's baseline arm). Protocol outcomes are identical either
+    #: way — a no-vote still aborts everyone, including participants
+    #: that already prepared (§3.3).
+    scatter_gather: bool = True
     token_expiry: float = 600.0
     indoubt_poll_period: float = 5.0
 
@@ -53,6 +61,9 @@ class HostMetrics:
     batched_ops_sent: int = 0
     statement_backouts: int = 0
     prepare_failures: int = 0
+    #: Participants that answered phase 1 with the read-only vote and
+    #: were released without a decision row or a phase-2 Commit.
+    readonly_votes: int = 0
     indoubt_commits: int = 0
     indoubt_aborts: int = 0
     tokens_issued: int = 0

@@ -21,46 +21,73 @@ def resolve_indoubts(host):
 
     Presumed abort: first, re-drive phase 2 for every transaction with a
     durable commit-decision row; then every transaction a DLFM still
-    reports as prepared has no decision row and is aborted.
+    reports as prepared has no decision row and is aborted. Both steps
+    fan out across the decision rows / servers (scatter-gather): after a
+    crash mid-fan-out many transactions are in doubt at once, and
+    re-driving them serially would stretch recovery by a round-trip per
+    row. Partial progress survives a failure — rows whose re-drive
+    succeeded are forgotten before the first error is re-raised (the
+    poller retries the remainder).
     """
     committed = aborted = 0
 
-    # 1. Re-drive forgotten phase-2 commits.
+    # 1. Re-drive forgotten phase-2 commits, all rows at once.
     session = host.db.session()
     rows = yield from session.execute(
         "SELECT txn_id, server FROM dlk_indoubt")
     yield from session.commit()
-    for txn_id, server in sorted(rows.rows):
-        dlfm = host.dlfms[server]
-        chan = dlfm.connect()
+    pending = sorted(rows.rows)
+    first_error = None
+    if pending:
+        chans = [host.dlfms[server].connect() for _, server in pending]
         try:
-            yield from rpc.call(host.sim, chan,
-                                api.Commit(host.dbid, txn_id))
+            outcomes = yield from rpc.scatter(
+                host.sim,
+                [(chan, api.Commit(host.dbid, txn_id))
+                 for chan, (txn_id, _) in zip(chans, pending)],
+                name="indoubt-commit", return_exceptions=True)
         finally:
-            chan.close()
-        session = host.db.session()
-        yield from session.execute(
-            "DELETE FROM dlk_indoubt WHERE txn_id = ? AND server = ?",
-            (txn_id, server))
-        yield from session.commit()
-        committed += 1
-        host.metrics.indoubt_commits += 1
+            for chan in chans:
+                chan.close()
+        cleaner = host.db.session()
+        for (txn_id, server), outcome in zip(pending, outcomes):
+            if isinstance(outcome, BaseException):
+                if first_error is None:
+                    first_error = outcome
+                continue
+            yield from cleaner.execute(
+                "DELETE FROM dlk_indoubt WHERE txn_id = ? AND server = ?",
+                (txn_id, server))
+            committed += 1
+            host.metrics.indoubt_commits += 1
+        yield from cleaner.commit()
+    if first_error is not None:
+        raise first_error
 
     # 2. Anything still prepared at a DLFM has no decision row → abort.
-    for server in sorted(host.dlfms):
-        dlfm = host.dlfms[server]
-        chan = dlfm.connect()
-        try:
-            indoubt = yield from rpc.call(host.sim, chan,
-                                          api.ListIndoubt(host.dbid))
-            for txn_id in indoubt:
-                yield from rpc.call(host.sim, chan,
-                                    api.Abort(host.dbid, txn_id))
-                aborted += 1
-                host.metrics.indoubt_aborts += 1
-        finally:
-            chan.close()
+    counts = yield from rpc.gather_all(
+        host.sim,
+        [_sweep_server(host, server) for server in sorted(host.dlfms)],
+        name="indoubt-sweep")
+    aborted = sum(counts)
     return {"committed": committed, "aborted": aborted}
+
+
+def _sweep_server(host, server: str):
+    """Generator: abort one server's decision-less prepared txns."""
+    chan = host.dlfms[server].connect()
+    aborted = 0
+    try:
+        indoubt = yield from rpc.call(host.sim, chan,
+                                      api.ListIndoubt(host.dbid))
+        for txn_id in indoubt:
+            yield from rpc.call(host.sim, chan,
+                                api.Abort(host.dbid, txn_id))
+            aborted += 1
+            host.metrics.indoubt_aborts += 1
+    finally:
+        chan.close()
+    return aborted
 
 
 def indoubt_poller(host, server: str):

@@ -51,6 +51,10 @@ class HostSession:
         self._buffered: dict[str, list] = {}
         self._stmt_seq = itertools.count(1)
         self._parse_cache: dict[str, ast.Statement] = {}
+        #: Cached session for phase-2 decision forgetting (sync mode):
+        #: opening a fresh host session per committed transaction was
+        #: pure overhead. Lazily created, dropped on error.
+        self._decision_session = None
         #: Set once the 2PC commit decision is durable (decision rows +
         #: local commit). From then on the transaction IS committed:
         #: phase-2 failures are resolved by in-doubt re-drive, never by
@@ -183,6 +187,9 @@ class HostSession:
             "datalink column values must be literals or parameters")
 
     def _insert_datalink(self, stmt: ast.Insert, params: tuple, specs):
+        if stmt.more_rows:
+            raise DataLinkError(
+                "multi-row INSERT is not supported for DATALINK tables")
         txn_id = self._ensure_txn()
         links = []   # (LinkFile request, server)
         extra_cols, extra_vals = [], []
@@ -365,12 +372,24 @@ class HostSession:
             return
         txn_id = self.txn_id
         self._buffered.clear()   # unflushed ops never reached any DLFM
+        calls = []
         for server in sorted(self.participants):
             try:
-                yield from self._send_control(
-                    server, api.Abort(self.host.dbid, txn_id))
+                calls.append((self._channel(server),
+                              api.Abort(self.host.dbid, txn_id)))
             except ReproError:
                 pass  # participant down; presumed abort resolves it later
+        if self.host.config.scatter_gather and len(calls) > 1:
+            # Fan the Aborts out; a down participant's error is ignored
+            # (presumed abort resolves it later), so drain every reply.
+            yield from rpc.scatter(self.sim, calls, name=f"abort-{txn_id}",
+                                   return_exceptions=True)
+        else:
+            for chan, payload in calls:
+                try:
+                    yield from rpc.call(self.sim, chan, payload)
+                except ReproError:
+                    pass  # participant down; presumed abort resolves it
         yield from self.session.rollback()
         self._reset()
         self.host.metrics.rollbacks += 1
@@ -419,73 +438,161 @@ class HostSession:
             self.host.metrics.commits += 1
             return
 
-        # ---- phase 1: prepare every participant; with batching on, a
-        # server's buffered ops ride in one Batch with Prepare piggybacked
+        # ---- phase 1: prepare every participant — concurrently under
+        # scatter-gather, serially with the historical coordinator; with
+        # batching on, a server's buffered ops ride in one Batch with
+        # Prepare piggybacked. One no-vote aborts everyone, including
+        # those already prepared (§3.3).
+        mode = "scatter" if self.host.config.scatter_gather else "serial"
+        with self.sim.tracer.span("prepare.fanout", n=len(phase1),
+                                  mode=mode):
+            replies = yield from self._phase1(txn_id, phase1)
+        votes = {server: (reply or {}).get("vote", "commit")
+                 for server, reply in zip(phase1, replies)}
         for server in phase1:
-            try:
-                ops = self._buffered.pop(server, None)
-                if ops:
-                    yield from self._send_batch(server, txn_id, ops,
-                                                prepare=True)
-                else:
-                    yield from self._send_control(
-                        server, api.Prepare(self.host.dbid, txn_id))
-            except ReproError as error:
-                # One no-vote aborts everyone, including those already
-                # prepared (§3.3).
-                self.host.metrics.prepare_failures += 1
-                yield from self._abort_everything()
-                raise TransactionAborted(
-                    f"participant {server} failed to prepare: {error}",
-                    reason="prepare") from error
+            if votes[server] == "read-only":
+                # Read-only participant optimization: the server hardened
+                # nothing and was released at end of phase 1 — it gets no
+                # dlk_indoubt decision row and no phase-2 Commit.
+                self.participants.discard(server)
+                self.host.metrics.readonly_votes += 1
 
-        # ---- decision: durable with the local commit --------------------
+        # ---- decision: durable with the local commit; ONE multi-row
+        # INSERT covers every write participant -------------------------
         participants = sorted(self.participants)
-        for server in participants:
+        if participants:
+            marks = ", ".join(["(?, ?)"] * len(participants))
+            args = tuple(v for server in participants
+                         for v in (txn_id, server))
             yield from self.session.execute(
-                "INSERT INTO dlk_indoubt (txn_id, server) VALUES (?, ?)",
-                (txn_id, server))
+                f"INSERT INTO dlk_indoubt (txn_id, server) VALUES {marks}",
+                args)
         yield from self.session.commit()
         self._decided = True
         for name in self.pending_drops:
             self.host.apply_drop(name)
         self.host.metrics.commits += 1
 
-        # ---- phase 2 -----------------------------------------------------
-        if self.host.config.sync_commit:
-            yield from self._phase2_commit(txn_id, participants)
+        # ---- phase 2 (read-only voters already released) ----------------
+        if not participants:
+            pass  # everyone voted read-only: nothing is in doubt
+        elif self.host.config.sync_commit:
+            with self.sim.tracer.span("phase2.fanout", n=len(participants),
+                                      mode=mode):
+                yield from self._phase2_commit(txn_id, participants)
         else:
-            # E6 mode: the Commit verbs are still SENT in order on each
-            # connection (the child agent starts processing them), but
-            # the application regains control without waiting for the
-            # replies — so its next transaction's sends queue behind the
-            # still-running commit processing.
-            replies = []
-            for server in participants:
-                chan = self._channel(server)
-                reply = yield from rpc.cast(
-                    self.sim, chan, api.Commit(self.host.dbid, txn_id))
-                replies.append(reply)
+            # E6 mode: every Commit verb is SENT (each child agent has
+            # received it and started processing), but the application
+            # regains control without waiting for the replies — so its
+            # next transaction's sends queue behind the still-running
+            # commit processing. Scatter-gather overlaps the N sends;
+            # each send still blocks on its rendezvous.
+            calls = [(self._channel(server),
+                      api.Commit(self.host.dbid, txn_id))
+                     for server in participants]
+            with self.sim.tracer.span("phase2.fanout", n=len(participants),
+                                      mode=mode):
+                if self.host.config.scatter_gather:
+                    replies = yield from rpc.scatter_cast(
+                        self.sim, calls, name=f"phase2-cast-{txn_id}",
+                        fault_point="twopc.fanout:phase2",
+                        fault_node=self.host.db.name)
+                else:
+                    replies = []
+                    for chan, payload in calls:
+                        reply = yield from rpc.cast(self.sim, chan, payload)
+                        replies.append(reply)
             self.sim.spawn(self._phase2_finish(txn_id, replies),
                            f"async-phase2-{txn_id}")
         self._reset()
 
+    def _prepare_one(self, server: str, txn_id: int):
+        """Generator: phase-1 prepare of one participant; returns the
+        prepare reply (vote included) whichever envelope carried it."""
+        ops = self._buffered.pop(server, None)
+        if ops:
+            reply = yield from self._send_batch(server, txn_id, ops,
+                                                prepare=True)
+            return reply.get("prepare") or {}
+        reply = yield from self._send_control(
+            server, api.Prepare(self.host.dbid, txn_id))
+        return reply
+
+    def _phase1(self, txn_id: int, phase1: list[str]):
+        """Generator: run phase 1; returns replies in ``phase1`` order."""
+        gens = [self._prepare_one(server, txn_id) for server in phase1]
+        if not self.host.config.scatter_gather:
+            replies = []
+            for server, gen in zip(phase1, gens):
+                try:
+                    replies.append((yield from gen))
+                except ReproError as error:
+                    abort = yield from self._phase1_failed(server, error)
+                    raise abort from error
+            return replies
+        try:
+            outcomes = yield from rpc.gather_all(
+                self.sim, gens, name=f"prepare-{txn_id}",
+                return_exceptions=True,
+                fault_point="twopc.fanout:prepare",
+                fault_node=self.host.db.name)
+        except ReproError as error:
+            # The coordinator itself died in the scatter→gather window;
+            # outstanding prepares drain detached, participants resolve
+            # by presumed abort / in-doubt re-drive after restart.
+            abort = yield from self._phase1_failed("(coordinator)", error)
+            raise abort from error
+        for server, outcome in zip(phase1, outcomes):
+            if isinstance(outcome, ReproError):
+                abort = yield from self._phase1_failed(server, outcome)
+                raise abort from outcome
+            if isinstance(outcome, BaseException):
+                raise outcome  # non-protocol error: a bug, surface it
+        return outcomes
+
+    def _phase1_failed(self, server: str, error: ReproError):
+        """Generator: back out of a failed phase 1, build the abort."""
+        self.host.metrics.prepare_failures += 1
+        yield from self._abort_everything()
+        return TransactionAborted(
+            f"participant {server} failed to prepare: {error}",
+            reason="prepare")
+
     def _phase2_commit(self, txn_id: int, servers: list[str]):
-        for server in servers:
-            yield from self._send_control(
-                server, api.Commit(self.host.dbid, txn_id))
+        calls = [(self._channel(server), api.Commit(self.host.dbid, txn_id))
+                 for server in servers]
+        if self.host.config.scatter_gather:
+            yield from rpc.scatter(
+                self.sim, calls, name=f"phase2-{txn_id}",
+                fault_point="twopc.fanout:phase2",
+                fault_node=self.host.db.name)
+        else:
+            for chan, payload in calls:
+                yield from rpc.call(self.sim, chan, payload)
         yield from self._forget_decision(txn_id)
 
     def _phase2_finish(self, txn_id: int, replies: list):
         for reply in replies:
             yield from rpc.wait_reply(reply)
-        yield from self._forget_decision(txn_id)
+        yield from self._forget_decision(txn_id, reuse=False)
 
-    def _forget_decision(self, txn_id: int):
-        session = self.host.db.session()
-        yield from session.execute(
-            "DELETE FROM dlk_indoubt WHERE txn_id = ?", (txn_id,))
-        yield from session.commit()
+    def _forget_decision(self, txn_id: int, reuse: bool = True):
+        # Synchronous commits on a HostSession are serial, so they share
+        # one cached session; the E6 async finishers run concurrently
+        # with later transactions and must take their own.
+        if reuse:
+            session = self._decision_session
+            if session is None:
+                session = self._decision_session = self.host.db.session()
+        else:
+            session = self.host.db.session()
+        try:
+            yield from session.execute(
+                "DELETE FROM dlk_indoubt WHERE txn_id = ?", (txn_id,))
+            yield from session.commit()
+        except ReproError:
+            self._decision_session = None  # do not reuse a poisoned session
+            raise
 
     def rollback(self):
         """Generator: application ROLLBACK."""

@@ -62,16 +62,39 @@ def xa_prepare(session, gtrid: str):
             "VALUES (?, ?, ?)", (gtrid, txn_id, server))
     yield from reg.commit()
 
-    # 2. Prepare the DLFM sub-transactions (they see the local txn id).
+    # 2. Prepare the DLFM sub-transactions (they see the local txn id) —
+    # fanned out under scatter-gather. Read-only voters are released at
+    # end of phase 1 and pruned from the pending registration so the
+    # TM's eventual commit skips them in phase 2.
+    servers = sorted(session.participants)
     try:
-        for server in sorted(session.participants):
-            yield from session._send_control(
-                server, api.Prepare(host.dbid, txn_id))
+        if host.config.scatter_gather:
+            replies = yield from rpc.scatter(
+                host.sim,
+                [(session._channel(server), api.Prepare(host.dbid, txn_id))
+                 for server in servers],
+                name=f"xa-prepare-{txn_id}")
+        else:
+            replies = []
+            for server in servers:
+                replies.append((yield from session._send_control(
+                    server, api.Prepare(host.dbid, txn_id))))
     except ReproError as error:
         yield from xa_rollback(host, gtrid, session=session)
         raise TransactionAborted(
             f"gtrid {gtrid!r}: participant failed prepare: {error}",
             reason="prepare") from error
+    readonly = [server for server, reply in zip(servers, replies)
+                if (reply or {}).get("vote") == "read-only"]
+    if readonly:
+        prune = host.db.session()
+        for server in readonly:
+            session.participants.discard(server)
+            host.metrics.readonly_votes += 1
+            yield from prune.execute(
+                "DELETE FROM xa_pending WHERE gtrid = ? AND server = ?",
+                (gtrid, server))
+        yield from prune.commit()
 
     # 3. Prepare the host's own local transaction.
     local_txn = session.session.txn
@@ -105,14 +128,21 @@ def xa_commit(host, gtrid: str):
 def xa_rollback(host, gtrid: str, session=None):
     """Generator: the TM decided rollback for this branch."""
     txn_id, servers = yield from _pending_rows(host, gtrid)
+    chans = []
     for server in servers:
-        chan = host.dlfms[server].connect()
         try:
-            yield from rpc.call(host.sim, chan,
-                                api.Abort(host.dbid, txn_id))
+            chans.append(host.dlfms[server].connect())
         except ReproError:
-            pass  # presumed abort will mop up when it comes back
-        finally:
+            pass  # participant down; presumed abort mops up on restart
+    try:
+        # Fan the Aborts out; a down participant's error is swallowed
+        # (presumed abort will mop up when it comes back).
+        yield from rpc.scatter(
+            host.sim,
+            [(chan, api.Abort(host.dbid, txn_id)) for chan in chans],
+            name=f"xa-abort-{txn_id}", return_exceptions=True)
+    finally:
+        for chan in chans:
             chan.close()
     try:
         txn = host.db.find_prepared(txn_id)
@@ -127,12 +157,19 @@ def xa_rollback(host, gtrid: str, session=None):
 
 
 def _drive_phase2(host, gtrid: str, txn_id: int, servers):
-    for server in servers:
-        chan = host.dlfms[server].connect()
-        try:
-            yield from rpc.call(host.sim, chan,
-                                api.Commit(host.dbid, txn_id))
-        finally:
+    chans = [host.dlfms[server].connect() for server in servers]
+    try:
+        if host.config.scatter_gather:
+            yield from rpc.scatter(
+                host.sim,
+                [(chan, api.Commit(host.dbid, txn_id)) for chan in chans],
+                name=f"xa-phase2-{txn_id}")
+        else:
+            for chan in chans:
+                yield from rpc.call(host.sim, chan,
+                                    api.Commit(host.dbid, txn_id))
+    finally:
+        for chan in chans:
             chan.close()
     yield from _forget(host, gtrid)
 

@@ -223,6 +223,10 @@ class Process:
             return TIMEOUT
         kind, payload = outcome
         if kind == "err":
+            # The joiner consumes (and re-raises) the failure, so it is
+            # handled even when the process finished before this join
+            # registered a waiter (e.g. a scatter-gather straggler).
+            self.sim.absolve(self)
             raise payload
         return payload
 
@@ -377,6 +381,16 @@ class Simulator:
 
     def _record_failure(self, proc: Process, error: BaseException) -> None:
         self._failures.append((proc, error))
+
+    def absolve(self, proc: Process) -> None:
+        """Forget a recorded unhandled failure of ``proc``.
+
+        A process that fails before anyone waits on its ``done`` event is
+        recorded as unhandled at finalize time; a consumer that later
+        reads the outcome off the latched event (join, scatter-gather)
+        calls this so the handled error does not also fail the run.
+        """
+        self._failures = [f for f in self._failures if f[0] is not proc]
 
     def consume_failures(self) -> list[tuple[Process, BaseException]]:
         """Return and clear unhandled process failures (for crash tests)."""

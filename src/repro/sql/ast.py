@@ -132,6 +132,15 @@ class Insert:
     table: str
     columns: tuple[str, ...]
     values: tuple[Expr, ...]
+    #: Additional value tuples of a multi-row ``VALUES (...), (...)``
+    #: insert; ``values`` stays the first (and usually only) row so
+    #: single-row consumers keep working unchanged.
+    more_rows: tuple[tuple[Expr, ...], ...] = ()
+
+    @property
+    def rows(self) -> tuple[tuple[Expr, ...], ...]:
+        """Every value tuple, first row included."""
+        return (self.values,) + self.more_rows
 
 
 @dataclass(frozen=True)

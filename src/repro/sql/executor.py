@@ -280,8 +280,15 @@ class Executor:
         table = plan.table
         yield from self.db.locks.acquire(
             txn, ("table", table.name), LockMode.IX)
-        row = tuple(expr({}, params) if expr is not None else None
-                    for expr in plan.row_exprs)
+        count = 0
+        for row_exprs in plan.rows:
+            row = tuple(expr({}, params) if expr is not None else None
+                        for expr in row_exprs)
+            yield from self._insert_row(txn, table, row)
+            count += 1
+        return count
+
+    def _insert_row(self, txn, table, row: tuple):
         self._typecheck(table, row)
 
         heap = self.db.heaps[table.name]
@@ -329,7 +336,6 @@ class Executor:
         heap.insert(row, rid=rid)
         self.db.apply_index_insert(table, row, rid)
         self.db.metrics.rows_inserted += 1
-        return 1
 
     # ------------------------------------------------------------------ UPDATE
 

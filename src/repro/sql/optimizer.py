@@ -88,7 +88,9 @@ class SelectPlan:
 @dataclass
 class InsertPlan:
     table: TableDef
-    row_exprs: list[Optional[Compiled]]  # by column position; None → NULL
+    #: One compiled expression list per VALUES row, each by column
+    #: position; None → NULL. Multi-row inserts carry several.
+    rows: list[list[Optional[Compiled]]]
 
     kind: str = "insert"
     tables: tuple[str, ...] = ()
@@ -385,10 +387,13 @@ def _and_exprs(a: Optional[ast.Expr],
 def _plan_insert(catalog: Catalog, stmt: ast.Insert) -> InsertPlan:
     table = catalog.require_table(stmt.table)
     scope = Scope({})
-    row_exprs: list[Optional[Compiled]] = [None] * len(table.columns)
-    for column, value in zip(stmt.columns, stmt.values):
-        row_exprs[table.position(column)] = compile_expr(value, scope)
-    return InsertPlan(table, row_exprs, tables=(table.name,))
+    rows: list[list[Optional[Compiled]]] = []
+    for values in stmt.rows:
+        row_exprs: list[Optional[Compiled]] = [None] * len(table.columns)
+        for column, value in zip(stmt.columns, values):
+            row_exprs[table.position(column)] = compile_expr(value, scope)
+        rows.append(row_exprs)
+    return InsertPlan(table, rows, tables=(table.name,))
 
 
 def _plan_update(catalog: Catalog, stmt: ast.Update) -> UpdatePlan:

@@ -186,14 +186,21 @@ class _Parser:
             columns.append(self.expect_ident())
         self.expect_op(")")
         self.expect_kw("VALUES")
+        rows = [self._values_row(len(columns))]
+        while self.accept_op(","):
+            rows.append(self._values_row(len(columns)))
+        return ast.Insert(table, tuple(columns), rows[0],
+                          more_rows=tuple(rows[1:]))
+
+    def _values_row(self, n_columns: int) -> tuple:
         self.expect_op("(")
         values = [self._expr()]
         while self.accept_op(","):
             values.append(self._expr())
         self.expect_op(")")
-        if len(columns) != len(values):
-            self.fail(f"{len(columns)} columns but {len(values)} values")
-        return ast.Insert(table, tuple(columns), tuple(values))
+        if len(values) != n_columns:
+            self.fail(f"{n_columns} columns but {len(values)} values")
+        return tuple(values)
 
     def _update(self) -> ast.Update:
         table = self.expect_ident()

@@ -46,13 +46,14 @@ def test_agents_serve_their_own_connections_independently(media):
                                 api.Prepare("hostdb", 501))
         b = yield from rpc.call(media.sim, chan_b,
                                 api.Prepare("hostdb", 502))
-        yield from rpc.call(media.sim, chan_a, api.Commit("hostdb", 501))
-        yield from rpc.call(media.sim, chan_b, api.Commit("hostdb", 502))
         return a, b
 
     a, b = media.run(go())
-    assert a == {"vote": "yes"}
-    assert b == {"vote": "yes"}
+    # Neither transaction did any work, so both prepares answer with the
+    # read-only vote and are released at end of phase 1 — no Commit needed.
+    assert a == {"vote": "read-only"}
+    assert b == {"vote": "read-only"}
+    assert media.dlfms["fs1"].metrics.readonly_votes == 2
 
 
 def test_agent_busy_blocks_next_sender(media):

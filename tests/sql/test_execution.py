@@ -32,6 +32,28 @@ def q(db, sql, params=()):
     return db.sim.run_process(go())
 
 
+def test_multi_row_insert_inserts_every_row(loaded):
+    count = q(loaded,
+              "INSERT INTO files (id, name, size, state) VALUES "
+              "(100, 'extra-a', 1, 'free'), (101, 'extra-b', 2, 'free'), "
+              "(?, ?, ?, ?)",
+              (102, "extra-c", 3, "free"))
+    assert count == 3  # param indices are absolute across the rows
+    result = q(loaded, "SELECT id, name FROM files WHERE id BETWEEN 100 AND 110")
+    assert sorted(result.rows) == [(100, "extra-a"), (101, "extra-b"),
+                                   (102, "extra-c")]
+
+
+def test_multi_row_insert_duplicate_key_fails_whole_statement(loaded):
+    with pytest.raises(DuplicateKeyError):
+        q(loaded,
+          "INSERT INTO files (id, name, size, state) VALUES "
+          "(200, 'fresh-name', 1, 'free'), (201, 'file-00003', 2, 'free')")
+    # The statement failed as a unit: row 200 must not survive.
+    result = q(loaded, "SELECT id FROM files WHERE id = 200")
+    assert result.rows == []
+
+
 def test_select_star_returns_all_columns(loaded):
     result = q(loaded, "SELECT * FROM files WHERE id = 7")
     assert result.columns == ["id", "name", "size", "state"]

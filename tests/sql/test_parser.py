@@ -106,6 +106,21 @@ def test_insert_arity_mismatch_raises():
         parse("INSERT INTO f (a, b) VALUES (1)")
 
 
+def test_insert_multi_row():
+    stmt = parse("INSERT INTO f (a, b) VALUES (1, 'x'), (2, 'y'), (?, ?)")
+    assert stmt.values == (ast.Literal(1), ast.Literal("x"))
+    assert stmt.more_rows == (
+        (ast.Literal(2), ast.Literal("y")),
+        (ast.Param(0), ast.Param(1)),
+    )
+    assert len(stmt.rows) == 3
+
+
+def test_insert_multi_row_arity_mismatch_raises():
+    with pytest.raises(SQLSyntaxError):
+        parse("INSERT INTO f (a, b) VALUES (1, 'x'), (2)")
+
+
 def test_update_with_arithmetic():
     stmt = parse("UPDATE f SET n = n + 1 WHERE id = ?")
     (col, expr), = stmt.assignments
