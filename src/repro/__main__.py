@@ -7,10 +7,12 @@ Commands:
 * ``trace`` — run a traced scenario, print the observability report
   (lock hotspots, phase-2 retries, latency percentiles); ``--json`` dumps
   the raw span events (deterministic: same seed → identical bytes).
-* ``bench`` — run the fast-path performance harness (RPC batching + WAL
-  group commit) and write ``BENCH_PERF.json``; ``--check`` enforces the
+* ``bench`` — run the performance harness (RPC batching, WAL group
+  commit, daemon pools, scatter-gather 2PC, instant-vs-classic crash
+  restart) and write ``BENCH_PERF.json``; ``--check`` enforces the
   acceptance gates, ``--quick`` is the CI scale.
-* ``chaos`` — run a seeded fault-injection campaign with cross-layer
+* ``chaos`` — run a seeded fault-injection campaign (crashes, RPC
+  delays/duplicates, reply-dropping partitions) with cross-layer
   invariant checking; on violation writes a replayable
   ``chaos_repro.json`` (``--replay FILE`` re-runs it) plus a greedily
   shrunken fault schedule.
@@ -140,6 +142,10 @@ def cmd_bench(args) -> int:
         print(f"  {arm:<13} rpcs={stats['rpcs']:<6} "
               f"wal_forces={stats['wal_forces']:<4} "
               f"p95_txn={stats['p95_txn_s']}s")
+    recovery = doc["recovery"]
+    print(f"  restart       classic={recovery['classic']['first_commit_s']}s "
+          f"instant={recovery['instant']['first_commit_s']}s "
+          f"first-commit speedup={recovery['speedup']}x")
     failures = check(doc)
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
@@ -256,7 +262,8 @@ def main(argv=None) -> int:
                     help="also dump the raw trace events as JSON")
     tr.set_defaults(fn=cmd_trace)
 
-    bench = sub.add_parser("bench", help="run the fast-path perf harness")
+    bench = sub.add_parser("bench", help="run the perf harness "
+                           "(fast paths, daemons, 2PC fan-out, restart)")
     bench.add_argument("--seed", type=int, default=42)
     bench.add_argument("--links", type=int, default=None,
                        help="links per transaction (default 100)")

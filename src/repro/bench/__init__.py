@@ -2,7 +2,9 @@
 
 from repro.bench.harness import (ARMS, BenchConfig, check, run_bench,
                                  run_bulk_arm, run_e1_arm, run_e6_sentinel,
-                                 run_e8_sentinel)
+                                 run_e8_sentinel, run_recovery,
+                                 run_recovery_arm)
 
 __all__ = ["ARMS", "BenchConfig", "check", "run_bench", "run_bulk_arm",
-           "run_e1_arm", "run_e6_sentinel", "run_e8_sentinel"]
+           "run_e1_arm", "run_e6_sentinel", "run_e8_sentinel",
+           "run_recovery", "run_recovery_arm"]

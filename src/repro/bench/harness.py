@@ -10,6 +10,12 @@ trajectory in ``BENCH_PERF.json``:
   physical WAL forces, and simulated per-transaction latency
   percentiles;
 * an E1-style multi-client workload with the flags off and on;
+* a time-to-first-commit-after-crash arm: the same ≥500-committed-txn
+  WAL is recovered once with classic full-replay ARIES restart
+  (``DBConfig.instant_recovery=False``) and once with the instant
+  REDO-only restart (per-page log chains + lazy on-demand replay,
+  DESIGN.md §11), measuring the simulated latency of the first link
+  transaction committed after the crash;
 * two sentinels proving the paper-faithful outcomes survive: the E6
   distributed deadlock still reproduces with the default (flags-off)
   configuration, and the E8 log-full/batched-local-commit contrast holds
@@ -68,6 +74,13 @@ class BenchConfig:
     #: Participant counts swept by the multi-server arm (the acceptance
     #: gate is quoted at the largest).
     ms_server_counts: tuple = (1, 2, 4)
+    #: Committed link transactions seeded before the crash in the
+    #: recovery arm (the acceptance gate is quoted at ≥500).
+    recovery_txns: int = 500
+    #: Fraction of the seed load after which the DLFM local DB takes its
+    #: last checkpoint, so restart sees a realistic tail of post-
+    #: checkpoint work in both arms.
+    recovery_checkpoint_frac: float = 0.9
     quick: bool = False
 
     @classmethod
@@ -329,6 +342,89 @@ def run_daemon_arms(cfg: BenchConfig) -> dict:
     return {"archive_drain": drain, "restore_storm": storm}
 
 
+# ------------------------------------------------------------------- recovery
+
+def run_recovery_arm(cfg: BenchConfig, instant: bool) -> dict:
+    """Seed ``recovery_txns`` committed link transactions (checkpointing
+    the DLFM local DB at ``recovery_checkpoint_frac`` of the load), crash
+    the DLFM, restart it, and measure the simulated time until the FIRST
+    new link transaction commits.
+
+    With classic recovery the first commit pays the full-log REDO scan,
+    every touched page's read, and the full-heap index rebuilds (all
+    parked in ``unbilled_io`` by restart). With instant recovery it pays
+    only the post-checkpoint tail scan, the checkpoint index images, and
+    the one page the new insert actually touches — the rest drains in the
+    background replayer while the commit is already done.
+    """
+    timing = TimingModel.calibrated()
+    dlfm_config = DLFMConfig.tuned(timing=timing)
+    dlfm_config.local_db.instant_recovery = instant
+    host_config = HostConfig(batch_datalinks=True)
+    host_config.db.timing = timing
+    host_config.db.next_key_locking = False
+    host_config.db.isolation = "CS"
+    system = System(seed=cfg.seed, dlfm_config=dlfm_config,
+                    host_config=host_config)
+    dlfm = system.dlfms["fs1"]
+    checkpoint_at = max(1, int(cfg.recovery_txns
+                               * cfg.recovery_checkpoint_frac))
+
+    def seed_load():
+        yield from system.host.create_datalink_table(
+            "docs", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        session = system.session()
+        for i in range(cfg.recovery_txns):
+            path = f"/docs/f{i:05d}"
+            system.create_user_file("fs1", path, owner="load")
+            yield from session.execute(
+                "INSERT INTO docs (id, doc) VALUES (?, ?)",
+                (i, build_url("fs1", path)))
+            yield from session.commit()
+            if i + 1 == checkpoint_at:
+                dlfm.db.checkpoint()
+
+    system.run(seed_load())
+    log_records = len(dlfm.db.wal.records)
+    dlfm.crash()
+    started = system.sim.now
+    summary = dlfm.restart()
+
+    def first_commit():
+        session = system.session()
+        path = "/docs/after-crash"
+        system.create_user_file("fs1", path, owner="probe")
+        yield from session.execute(
+            "INSERT INTO docs (id, doc) VALUES (?, ?)",
+            (cfg.recovery_txns, build_url("fs1", path)))
+        yield from session.commit()
+
+    system.run(first_commit())
+    return {
+        "mode": "instant" if instant else "classic",
+        "seed_txns": cfg.recovery_txns,
+        "log_records": log_records,
+        "redone": summary["redone"],
+        "undone": summary["undone"],
+        "first_commit_s": round(system.sim.now - started, 6),
+        "pages_replayed": dlfm.db.metrics.pages_replayed,
+        "pages_replayed_bg": dlfm.metrics.pages_replayed_bg,
+    }
+
+
+def run_recovery(cfg: BenchConfig) -> dict:
+    """Classic-vs-instant restart over the identical WAL."""
+    classic = run_recovery_arm(cfg, instant=False)
+    instant = run_recovery_arm(cfg, instant=True)
+    return {
+        "classic": classic,
+        "instant": instant,
+        "speedup": round(classic["first_commit_s"]
+                         / max(instant["first_commit_s"], 1e-9), 2),
+    }
+
+
 # --------------------------------------------------------------- multi-server
 
 def run_multi_server_arm(cfg: BenchConfig, n_servers: int,
@@ -565,7 +661,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr5-scatter-gather-2pc"
+HISTORY_LABEL = "pr6-instant-recovery"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -597,18 +693,19 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     }
     daemons = run_daemon_arms(cfg)
     multi_server = run_multi_server(cfg)
+    recovery = run_recovery(cfg)
     top = str(max(cfg.ms_server_counts))
     e1 = {"off": run_e1_arm(cfg, fast=False),
           "on": run_e1_arm(cfg, fast=True)}
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
     headline = (
-        f"scatter-gather 2PC commit p95 "
+        f"instant restart first-commit {recovery['speedup']}x over "
+        f"full replay on a {recovery['classic']['log_records']}-record "
+        f"WAL; scatter-gather 2PC commit p95 "
         f"{multi_server[top]['p95_speedup']}x at {top} participants; "
         f"archive drain {daemons['archive_drain']['speedup']}x with "
-        f"{cfg.drain_workers} copy workers, restore storm "
-        f"{daemons['restore_storm']['speedup']}x with "
-        f"{cfg.storm_workers} retrieve workers")
+        f"{cfg.drain_workers} copy workers")
     entry = {
         "label": HISTORY_LABEL,
         "headline": headline,
@@ -617,6 +714,11 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "archive_drain_speedup": daemons["archive_drain"]["speedup"],
         "restore_storm_speedup": daemons["restore_storm"]["speedup"],
         "multi_server_p95_speedup": multi_server[top]["p95_speedup"],
+        "recovery_speedup": recovery["speedup"],
+        "recovery_first_commit_instant_s":
+            recovery["instant"]["first_commit_s"],
+        "recovery_first_commit_classic_s":
+            recovery["classic"]["first_commit_s"],
         "e1_p95_on_s": e1["on"]["p95_latency_s"],
         "e1_p95_off_s": e1["off"]["p95_latency_s"],
     }
@@ -638,11 +740,14 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "ms_clients": cfg.ms_clients,
             "ms_txns": cfg.ms_txns,
             "ms_server_counts": list(cfg.ms_server_counts),
+            "recovery_txns": cfg.recovery_txns,
+            "recovery_checkpoint_frac": cfg.recovery_checkpoint_frac,
             "quick": cfg.quick,
         },
         "bulk": {"arms": arms, "ratios": ratios},
         "daemons": daemons,
         "multi_server": multi_server,
+        "recovery": recovery,
         "e1": e1,
         "sentinels": sentinels,
         "history": history,
@@ -677,6 +782,16 @@ def check(doc: dict) -> list[str]:
         failures.append(
             f"multi_server p95 commit speedup {four.get('p95_speedup')} "
             f"< 2.5x at 4 participants")
+    recovery = doc.get("recovery", {})
+    if recovery.get("speedup", 0) < 3:
+        failures.append(
+            f"instant-recovery first-commit speedup "
+            f"{recovery.get('speedup')} < 3x")
+    if recovery.get("classic", {}).get("seed_txns", 0) < 500:
+        failures.append(
+            f"recovery arm seeded only "
+            f"{recovery.get('classic', {}).get('seed_txns')} committed "
+            f"txns (< 500)")
     for name, sentinel in doc["sentinels"].items():
         if not sentinel["preserved"]:
             failures.append(f"sentinel {name} outcome NOT preserved")

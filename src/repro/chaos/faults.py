@@ -26,6 +26,16 @@ point                      kinds                     wired into
                                                      after the claim/
                                                      dispatch, before the
                                                      work
+``rpc.reply:<chan>``       partition                 agent serve loop:
+                                                     request delivered and
+                                                     processed, REPLY
+                                                     dropped (network
+                                                     partition healing
+                                                     after the work) —
+                                                     the caller must
+                                                     re-drive or resolve
+                                                     via the in-doubt
+                                                     poller
 ``twopc.fanout:<phase>``   delay, crash              2PC coordinator
                                                      scatter→gather window
                                                      (phase ``prepare`` or
@@ -58,7 +68,7 @@ from repro.errors import CrashedError, ReproError, TransientIOError
 
 #: Every fault kind a rule may carry.
 KINDS = ("drop", "delay", "dup", "io_error", "lock_timeout",
-         "lock_deadlock", "crash")
+         "lock_deadlock", "crash", "partition")
 
 #: Kind groups the call sites ask for.
 IO_KINDS = ("io_error",)
@@ -66,6 +76,8 @@ LOCK_KINDS = ("lock_timeout", "lock_deadlock")
 CRASH_KINDS = ("crash",)
 SEND_KINDS = ("drop", "delay")
 DUP_KINDS = ("dup",)
+#: Partition/heal: the request got through, the reply does not.
+REPLY_KINDS = ("partition",)
 
 
 class FaultPlanError(ReproError):
@@ -295,6 +307,12 @@ def default_plan(seed: int = 0) -> FaultPlan:
                   max_fires=None, delay=0.25),
         FaultRule("rpc.dup:Commit", "dup", prob=0.05, max_fires=None),
         FaultRule("rpc.dup:Abort", "dup", prob=0.05, max_fires=None),
+        # Partition/heal: the DLFM agent processes a request but its
+        # reply is lost. The caller wedges until the round budget kills
+        # it; quiesce's in-doubt poller then re-drives the idempotent
+        # outcome against the healed (possibly restarted) shard.
+        FaultRule("rpc.reply:dlfm-agent", "partition", prob=0.01,
+                  max_fires=2),
         FaultRule("fs.create:*", "io_error", prob=0.01, max_fires=None),
         FaultRule("fs.stat:*", "io_error", prob=0.01, max_fires=None),
         FaultRule("lock.acquire:dlfm-*", "lock_timeout", prob=0.01,

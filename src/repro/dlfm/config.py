@@ -43,6 +43,10 @@ class DLFMConfig:
     delgrp_workers: int = 1
     #: Capacity of the Delete-Group daemon's notification channel.
     delgrp_queue_capacity: int = 64
+    #: Background-replayer workers draining cold pages' pending log
+    #: chains after an instant restart (0 disables the drain: pages are
+    #: then replayed only on demand, at first touch).
+    replay_workers: int = 2
     #: Period of the Garbage Collector daemon (seconds).
     gc_period: float = 600.0
     #: Lifetime of a deleted file group before GC removes its metadata.

@@ -35,11 +35,16 @@ class Backoff:
     def next(self) -> float:
         """The delay before the next retry; advances the sequence."""
         delay = self.base * (self.factor ** self.attempts)
+        self.attempts += 1
         if self.cap is not None:
             delay = min(self.cap, delay)
-        self.attempts += 1
         if self.jitter:
             delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        # Re-clamp: the cap is a hard bound, so upward jitter truncates
+        # at it — while downward jitter still spreads capped delays
+        # below it (a saturated sequence must not re-synchronize).
+        if self.cap is not None:
+            delay = min(self.cap, delay)
         return delay
 
     def reset(self) -> None:

@@ -209,6 +209,7 @@ def serve_loop(chan: Channel, dispatch):
     is NOT receiving, so further senders block (rendezvous) — the paper's
     message-send blocking behaviour.
     """
+    from repro.chaos.faults import REPLY_KINDS
     from repro.errors import ChannelClosed, ReproError
     while True:
         try:
@@ -218,6 +219,16 @@ def serve_loop(chan: Channel, dispatch):
         try:
             result = yield from dispatch(envelope.payload)
         except ReproError as error:
-            envelope.reply.trigger(("err", error))
+            outcome = ("err", error)
         else:
-            envelope.reply.trigger(("ok", result))
+            outcome = ("ok", result)
+        sim = chan.sim
+        if sim.injector.enabled and sim.injector.fire(
+                f"rpc.reply:{chan.name}", REPLY_KINDS) is not None:
+            # Partition/heal: the request was delivered and fully
+            # processed, but the reply is lost on the way back. The
+            # caller is left hanging exactly as a healed network
+            # partition would leave it — its state must be resolved by
+            # re-drive (idempotent verbs) or the in-doubt poller.
+            continue
+        envelope.reply.trigger(outcome)

@@ -214,6 +214,32 @@ class BTree:
         self._root = _Leaf()
         self._count = 0
 
+    def items(self) -> Iterator[tuple[tuple, Rid]]:
+        """Every ``(encoded_key, rid)`` pair in key order.
+
+        Used by checkpoints to snapshot the index image that instant
+        recovery repairs from (DESIGN.md §11).
+        """
+        leaf = self._leftmost()
+        while leaf is not None:
+            yield from leaf.entries
+            leaf = leaf.next
+
+    def bulk_load(self, pairs) -> None:
+        """Reload from ``(encoded_key, rid)`` pairs (a checkpoint image).
+
+        Bypasses the uniqueness check: the image was consistent when
+        taken, and recovery's delta replay reproduces historical states
+        that were each individually consistent.
+        """
+        self.clear()
+        for ekey, rid in pairs:
+            split = self._insert(self._root, tuple(ekey), rid)
+            if split is not None:
+                sep, right = split
+                self._root = _Inner([sep], [self._root, right])
+            self._count += 1
+
     @property
     def nlevels(self) -> int:
         levels = 1

@@ -87,6 +87,12 @@ class DBConfig:
     #: 0.0 (the default) forces per commit, the paper-faithful behaviour;
     #: commit latency grows by up to the window when enabled.
     group_commit_window: float = 0.0
+    #: Instant, REDO-only restart (Sauer & Härder): analysis over the
+    #: durable tail builds per-page replay chains; pages are replayed
+    #: lazily on first touch (plus a background drain in DLFM) instead
+    #: of a full-log REDO pass before the first statement. False gives
+    #: the classic ARIES full-replay restart (the bench baseline).
+    instant_recovery: bool = True
     #: Buffer-pool capacity in pages.
     buffer_pool_pages: int = 2_000
     #: Heap rows per page (drives optimizer page counts and I/O volume).

@@ -47,6 +47,10 @@ class DBMetrics:
     plan_binds: int = 0
     plan_invalidations: int = 0
     recoveries: int = 0
+    #: Instant recovery: pages whose pending log chain was replayed on
+    #: demand (or by the background replayer), and records applied.
+    pages_replayed: int = 0
+    replay_records: int = 0
 
     def note_abort(self, reason: str) -> None:
         self.rollbacks += 1
@@ -79,6 +83,15 @@ class Database:
             start=(previous.highest_id + 1) if previous else 1)
         self.heaps: dict[str, Heap] = {}
         self.btrees: dict[str, BTree] = {}
+        #: Instant recovery: (table, page_no) → ascending LSNs still to
+        #: replay. Filled by ``recovery.py``, drained by
+        #: :meth:`replay_page` (volatile; rebuilt from the WAL at restart).
+        self.replay_pending: dict[tuple[str, int], list[int]] = {}
+        #: Sim time before which new statements stall: recovery converts
+        #: its foreground I/O (REDO scan, page reads, index repair) into
+        #: this gate, so a restarted DB really is unavailable while the
+        #: classic restart replays — and barely stalls on the instant path.
+        self.traffic_open_at: float = 0.0
         self.executor = Executor(self)
         self._plan_cache: dict[str, tuple] = {}
         #: In-flight group-commit force (Event) or None; volatile state.
@@ -276,6 +289,43 @@ class Database:
             if tdef is not None:
                 self.apply_index_insert(tdef, desired, rid)
 
+    # ------------------------------------------------------------------ lazy replay
+
+    def replay_page(self, table: str, page_no: int) -> int:
+        """On-demand REDO of one page's pending log chain (instant recovery).
+
+        Called by the heap replay gate on first touch after a lazy
+        restart, and by DLFM's background replayer for cold pages. Pops
+        the page from the pending set *before* applying, so the replay's
+        own page accesses pass straight through the gate. Idempotent:
+        each record is applied only when the page LSN is behind it.
+        Returns the number of records applied.
+        """
+        lsns = self.replay_pending.pop((table, page_no), None)
+        if lsns is None:
+            return 0
+        heap = self.heaps.get(table)
+        applied = 0
+        if heap is not None:
+            for lsn in lsns:
+                record = self.wal.record(lsn)
+                if heap.page_lsn(page_no) >= lsn:
+                    continue
+                current = heap.fetch(record.rid)
+                if current is not None:
+                    heap.delete(record.rid)
+                if record.after is not None:
+                    heap.insert(record.after, rid=record.rid)
+                heap.set_page_lsn(page_no, lsn)
+                applied += 1
+            self.metrics.pages_replayed += 1
+            self.metrics.replay_records += applied
+        if not self.replay_pending:
+            # Replay complete: take the gate off the hot path entirely.
+            for other in self.heaps.values():
+                other.replay_hook = None
+        return applied
+
     # ------------------------------------------------------------------ WAL hook
 
     def log_write(self, kind: str, txn: Transaction, table: str, rid,
@@ -333,12 +383,18 @@ class Database:
             for name in [n for n, b in self.btrees.items()
                          if b.table == stmt.table]:
                 del self.btrees[name]
+                self.disk.drop_index_image(name)
             self.pool.drop_table(stmt.table)
+            self.wal.forget_table(stmt.table)
+            for key in [k for k in self.replay_pending
+                        if k[0] == stmt.table]:
+                del self.replay_pending[key]
         elif isinstance(stmt, ast.DropIndex):
             index = self.catalog.require_index(stmt.index)
             self.catalog.indexes_by_table[index.table].remove(index)
             del self.catalog.indexes[stmt.index]
             del self.btrees[stmt.index]
+            self.disk.drop_index_image(stmt.index)
         else:
             raise CatalogError(f"not DDL: {stmt!r}")
         self._invalidate_plans()
@@ -406,11 +462,30 @@ class Database:
             self.checkpoint()
 
     def checkpoint(self) -> None:
+        """Flush dirty pages, snapshot volatile state, truncate the log.
+
+        The payload carries what instant recovery's tail-only analysis
+        needs: the transaction table (first/last LSN and prepared flag
+        per active transaction — a prepared transaction may predate the
+        checkpoint by an arbitrary margin) and the per-page chain-head
+        table. Secondary-index images go to the disk, keyed by index
+        name, so restart repairs each index from image + tail deltas
+        instead of a full-heap rebuild.
+        """
         self._ensure_up()
         self.pool.flush_all()
+        for name, btree in self.btrees.items():
+            self.disk.store_index_image(name, btree.items())
+        txn_table = {}
+        for txn in self.txns.active:
+            txn_table[txn.id] = {
+                "first": txn.first_lsn, "last": txn.last_lsn,
+                "prepared": txn.state is TxnState.PREPARED}
         record = self.wal.append(
             walmod.CHECKPOINT, None,
-            payload={"active": [t.id for t in self.txns.active]})
+            payload={"active": [t.id for t in self.txns.active],
+                     "chain_heads": dict(self.wal.page_heads),
+                     "txn_table": txn_table})
         self.wal.force()
         self.wal.note_checkpoint(record.lsn)
 
@@ -429,10 +504,17 @@ class Database:
         self.txns.clear()
         self.heaps.clear()
         self.btrees.clear()
+        self.replay_pending.clear()
         self._plan_cache.clear()
 
     def restart(self) -> dict:
-        """Restart after a crash: ARIES-style recovery. Returns a summary."""
+        """Restart after a crash; returns a recovery summary.
+
+        With ``config.instant_recovery`` (default) this is the instant,
+        REDO-only restart: tail analysis + eager undo run here, but page
+        REDO is deferred into ``replay_pending`` and happens lazily (see
+        :meth:`replay_page`). Otherwise classic full-replay ARIES.
+        """
         from repro.minidb.recovery import recover
         self.crashed = False
         self._build_volatile()

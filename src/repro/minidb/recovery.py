@@ -1,10 +1,30 @@
-"""Restart recovery: ARIES-style analysis / redo / undo.
+"""Restart recovery: instant REDO-only restart, or classic ARIES replay.
 
 Runs against the durable state only: disk page images plus the forced
-prefix of the WAL. Redo is conditional on page LSNs (idempotent across
-repeated crashes); undo of loser transactions writes CLRs so a crash
-during recovery is itself recoverable. Secondary indexes are rebuilt from
-the heaps afterwards (documented substitution for index logging).
+prefix of the WAL.
+
+With ``DBConfig.instant_recovery`` (the default) restart follows Sauer &
+Härder's instant-recovery design: analysis reads only the durable tail
+since the last checkpoint (the checkpoint payload carries the
+transaction table and the per-page chain-head snapshot), REDO is
+*deferred* — each page's pending log chain is recorded in
+``db.replay_pending`` and replayed on first touch through the heap's
+replay gate (``Database.replay_page``) or by DLFM's background
+replayer — and secondary indexes are repaired from their checkpoint
+images plus the tail deltas instead of a full-heap rebuild. Undo of
+loser transactions and prepared-transaction lock resurrection stay
+eager, so the engine is transaction-consistent (and accepts new work)
+the moment ``restart()`` returns, after tail-proportional work only.
+
+With ``instant_recovery=False`` the classic path runs: full-log
+conditional REDO, then undo, then index rebuilds from the heaps.
+Both paths write CLRs during undo so a crash during recovery is itself
+recoverable. Each path's foreground I/O (log scan, page reads, index
+repair) accumulates in the buffer pool's unbilled counter and is
+converted, at the end of recovery, into ``Database.traffic_open_at`` —
+a gate every new statement waits out. That is how "time to first
+commit" materializes in simulated time: classic restart stalls traffic
+for the whole replay, instant restart for the tail analysis only.
 """
 
 from __future__ import annotations
@@ -13,6 +33,36 @@ from typing import Optional
 
 from repro.minidb import wal as walmod
 from repro.minidb.storage import Heap
+
+#: Log records per log page: converts scan length into page I/Os charged
+#: to the restart gate (restart cost is I/O-bound).
+LOG_RECORDS_PER_PAGE = 10
+
+#: Checkpoint index-image entries per page. Images are dense sorted runs
+#: of small (key, rid) pairs — index-leaf packing, several times denser
+#: than heap rows (``DBConfig.rows_per_page``).
+INDEX_IMAGE_ENTRIES_PER_PAGE = 100
+
+
+def _log_scan_io(records: int) -> int:
+    return (records + LOG_RECORDS_PER_PAGE - 1) // LOG_RECORDS_PER_PAGE
+
+
+def _image_io(entries: int) -> int:
+    return ((entries + INDEX_IMAGE_ENTRIES_PER_PAGE - 1)
+            // INDEX_IMAGE_ENTRIES_PER_PAGE)
+
+
+def _close_traffic_gate(db) -> None:
+    """Convert recovery's parked foreground I/O into a statement gate.
+
+    Everything recovery read or wrote through the pool landed in
+    ``unbilled_io``; draining it here (instead of letting whichever
+    session touches the pool first pay) models the restart window during
+    which the engine is genuinely unavailable to ALL traffic.
+    """
+    pages = db.pool.metrics.drain_unbilled()
+    db.traffic_open_at = db.sim.now + db.config.timing.io_cost(pages)
 
 
 class _RecoveryTxn:
@@ -29,9 +79,138 @@ class _RecoveryTxn:
 
 def recover(db) -> dict:
     """Bring ``db`` to a transaction-consistent state; returns a summary."""
+    if db.config.instant_recovery:
+        return _recover_instant(db)
+    return _recover_classic(db)
+
+
+# ---------------------------------------------------------------- instant path
+
+def _recover_instant(db) -> dict:
+    wal = db.wal
+
+    # ---- analysis: checkpoint snapshot + the durable tail only ------------
+    ckpt = wal.last_checkpoint_lsn
+    snapshot: dict = {}
+    if ckpt:
+        payload = wal.record(ckpt).payload or {}
+        snapshot = payload.get("txn_table", {})
+    tail = wal.records[ckpt:]
+
+    last_lsn: dict[int, int] = {}
+    first_lsn: dict[int, int] = {}
+    prepared: set[int] = set()
+    for txn_id, info in snapshot.items():
+        if info.get("last") is not None:
+            last_lsn[txn_id] = info["last"]
+            first_lsn[txn_id] = info.get("first") or info["last"]
+        if info.get("prepared"):
+            prepared.add(txn_id)
+    ended: set[int] = set()
+    committed: set[int] = set()
+    for record in tail:
+        if record.txn_id == 0:
+            continue
+        if record.kind in (walmod.COMMIT, walmod.ABORT):
+            ended.add(record.txn_id)
+            prepared.discard(record.txn_id)
+            if record.kind == walmod.COMMIT:
+                committed.add(record.txn_id)
+        else:
+            if record.kind == walmod.PREPARE:
+                prepared.add(record.txn_id)
+            last_lsn[record.txn_id] = record.lsn
+            first_lsn.setdefault(record.txn_id, record.lsn)
+    losers = {txn_id: lsn for txn_id, lsn in last_lsn.items()
+              if txn_id not in ended and txn_id not in prepared}
+
+    # ---- build the pending per-page replay chains -------------------------
+    # Walk each chain head down until the durable page LSN catches it: the
+    # records above the durable LSN are exactly the page's missing REDO
+    # work. Pages of dropped tables are skipped (catalog is durable).
+    pending: dict[tuple[str, int], list[int]] = {}
+    for key in sorted(wal.page_heads):
+        table, page_no = key
+        if table not in db.catalog.tables:
+            continue
+        durable = db.disk.page_lsn(table, page_no)
+        lsns: list[int] = []
+        lsn: Optional[int] = wal.page_heads[key]
+        while lsn is not None and lsn > durable:
+            lsns.append(lsn)
+            lsn = wal.record(lsn).prev_page_lsn
+        if lsns:
+            lsns.reverse()
+            pending[key] = lsns
+    redone = sum(len(lsns) for lsns in pending.values())
+
+    # ---- heap bookkeeping without reading a single page -------------------
+    chain_pages: dict[str, list[int]] = {}
+    for table, page_no in pending:
+        chain_pages.setdefault(table, []).append(page_no)
+    for table in db.catalog.tables:
+        db.heaps[table] = Heap.recover_lazy(table, db.pool,
+                                            chain_pages.get(table, ()))
+    db.replay_pending = pending
+    for table in chain_pages:
+        db.heaps[table].replay_hook = db.replay_page
+
+    # Analysis read the tail once; the first post-restart statement pays.
+    db.pool.metrics.unbilled_io += _log_scan_io(len(tail))
+
+    # ---- chain-driven per-index repair (no full-heap rebuild) -------------
+    for index in db.catalog.indexes.values():
+        btree = db.btrees[index.name]
+        table = db.catalog.require_table(index.table)
+        image = db.disk.load_index_image(index.name)
+        if image is None and db.disk.page_numbers(index.table):
+            # No checkpoint image but durable heap pages exist: the index
+            # was created after the last checkpoint. Fall back to a heap
+            # scan — the replay gate makes the scan see crash-time rows,
+            # at the price of replaying this one table eagerly.
+            btree.clear()
+            for rid, row in db.heaps[index.table].scan():
+                key = tuple(row[table.position(c)] for c in index.columns)
+                btree.insert(key, rid)
+            continue
+        if image is None:
+            # No image and no durable pages: every row the index should
+            # hold comes from tail records — replay deltas from empty.
+            btree.clear()
+        else:
+            btree.bulk_load(image)
+            db.pool.metrics.unbilled_io += _image_io(len(image))
+        for record in tail:
+            if not record.redoable or record.table != index.table:
+                continue
+            if record.before is not None:
+                key = tuple(record.before[table.position(c)]
+                            for c in index.columns)
+                btree.delete(key, record.rid)
+            if record.after is not None:
+                key = tuple(record.after[table.position(c)]
+                            for c in index.columns)
+                btree.insert(key, record.rid)
+
+    # ---- eager undo + indoubt resurrection, then re-checkpoint ------------
+    # Undo maintains the indexes directly (they already hold crash-time
+    # state); touched pages replay through the gate before the
+    # before-image lands, so undo is correct on a partially-replayed heap.
+    undone = _undo_losers(db, losers, maintain_indexes=True)
+    _resurrect_prepared(db, prepared, last_lsn, first_lsn)
+    db.checkpoint()
+    _close_traffic_gate(db)
+    return {"redone": redone, "undone": undone,
+            "losers": sorted(losers), "committed": sorted(committed),
+            "prepared": sorted(prepared)}
+
+
+# ---------------------------------------------------------------- classic path
+
+def _recover_classic(db) -> dict:
     records = db.wal.records  # after crash() this is exactly the durable prefix
 
-    # ---- analysis ---------------------------------------------------------
+    # ---- analysis (full log) ----------------------------------------------
     last_lsn: dict[int, int] = {}
     first_lsn: dict[int, int] = {}
     ended: set[int] = set()
@@ -59,6 +238,8 @@ def recover(db) -> dict:
     # ---- rebuild heap bookkeeping from durable pages ------------------------
     for table in db.catalog.tables:
         db.heaps[table] = Heap.recover(table, db.pool)
+    db.replay_pending = {}
+    db.pool.metrics.unbilled_io += _log_scan_io(len(records))
 
     # ---- redo -------------------------------------------------------------------
     redone = 0
@@ -70,11 +251,37 @@ def recover(db) -> dict:
             continue  # table was dropped
         if heap.page_lsn(record.rid[0]) >= record.lsn:
             continue
-        _apply_state(heap, record.rid, record.after)
+        _apply_heap_state(heap, record.rid, record.after)
         heap.set_page_lsn(record.rid[0], record.lsn)
         redone += 1
 
-    # ---- undo losers (single backward pass with CLR chains) ----------------------
+    # ---- undo losers, resurrect indoubts, rebuild indexes -------------------
+    undone = _undo_losers(db, losers, maintain_indexes=False)
+    _resurrect_prepared(db, prepared, last_lsn, first_lsn)
+    for index in db.catalog.indexes.values():
+        btree = db.btrees[index.name]
+        btree.clear()
+        table = db.catalog.require_table(index.table)
+        for rid, row in db.heaps[index.table].scan():
+            key = tuple(row[table.position(c)] for c in index.columns)
+            btree.insert(key, rid)
+
+    db.checkpoint()
+    _close_traffic_gate(db)
+    return {"redone": redone, "undone": undone,
+            "losers": sorted(losers), "committed": sorted(committed),
+            "prepared": sorted(prepared)}
+
+
+# ---------------------------------------------------------------- shared parts
+
+def _undo_losers(db, losers: dict[int, int], maintain_indexes: bool) -> int:
+    """Single backward pass over all losers, writing CLR chains.
+
+    ``undone`` counts only undos actually *applied*; records of dropped
+    tables apply nothing, but still get a CLR so a crash during recovery
+    never re-examines them (the chain stays idempotent).
+    """
     undone = 0
     shims = {txn_id: _RecoveryTxn(txn_id, lsn)
              for txn_id, lsn in losers.items()}
@@ -90,13 +297,17 @@ def recover(db) -> dict:
         elif record.redoable:
             heap = db.heaps.get(record.table)
             if heap is not None:
-                _apply_state(heap, record.rid, record.before)
-                clr = db.wal.append(
-                    walmod.CLR, shim, table=record.table, rid=record.rid,
-                    before=record.after, after=record.before,
-                    undo_next=record.prev_lsn)
+                if maintain_indexes:
+                    db._apply_state(record.table, record.rid, record.before)
+                else:
+                    _apply_heap_state(heap, record.rid, record.before)
+                undone += 1
+            clr = db.wal.append(
+                walmod.CLR, shim, table=record.table, rid=record.rid,
+                before=record.after, after=record.before,
+                undo_next=record.prev_lsn)
+            if heap is not None:
                 heap.set_page_lsn(record.rid[0], clr.lsn)
-            undone += 1
             next_lsn = record.prev_lsn
         else:  # BEGIN or foreign record kind
             next_lsn = record.prev_lsn
@@ -105,12 +316,17 @@ def recover(db) -> dict:
             del cursors[txn_id]
         else:
             cursors[txn_id] = next_lsn
+    return undone
 
-    # ---- resurrect prepared (indoubt) transactions --------------------------------
+
+def _resurrect_prepared(db, prepared: set[int], last_lsn: dict[int, int],
+                        first_lsn: dict[int, int]) -> None:
     from repro.minidb.locks import LockMode
     from repro.minidb.txn import Transaction, TxnState
     for txn_id in sorted(prepared):
-        txn = Transaction(txn_id, "RR", 0.0)
+        # Stamped with the recovery-time clock: a 0.0 birth time would
+        # make age-based lock-wait policies see an ancient transaction.
+        txn = Transaction(txn_id, "RR", db.sim.now)
         txn.state = TxnState.PREPARED
         txn.last_lsn = last_lsn.get(txn_id)
         txn.first_lsn = first_lsn.get(txn_id, txn.last_lsn)
@@ -125,22 +341,9 @@ def recover(db) -> dict:
             cursor = record.prev_lsn
         db.txns._active[txn_id] = txn
 
-    # ---- rebuild secondary indexes -----------------------------------------------
-    for index in db.catalog.indexes.values():
-        btree = db.btrees[index.name]
-        btree.clear()
-        table = db.catalog.require_table(index.table)
-        for rid, row in db.heaps[index.table].scan():
-            key = tuple(row[table.position(c)] for c in index.columns)
-            btree.insert(key, rid)
 
-    db.checkpoint()
-    return {"redone": redone, "undone": undone,
-            "losers": sorted(losers), "committed": sorted(committed),
-            "prepared": sorted(prepared)}
-
-
-def _apply_state(heap: Heap, rid, desired: Optional[tuple]) -> None:
+def _apply_heap_state(heap: Heap, rid, desired: Optional[tuple]) -> None:
+    """Force a heap slot to ``desired`` (indexes handled separately)."""
     current = heap.fetch(rid)
     if current is not None:
         heap.delete(rid)

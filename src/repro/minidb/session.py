@@ -84,6 +84,13 @@ class Session:
         for INSERT/UPDATE/DELETE, and None for DDL.
         """
         self.db.metrics.statements += 1
+        stall = self.db.traffic_open_at - self.db.sim.now
+        if stall > 0:
+            # Crash recovery is still replaying: classic ARIES restart
+            # holds ALL new statements until REDO and the index rebuilds
+            # finish; the instant path only holds them for the log-tail
+            # analysis pass (DESIGN.md §11).
+            yield Timeout(stall)
         cost = self.db.config.timing.statement_cost()
         if cost > 0:
             yield Timeout(cost)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import DatabaseError
 
@@ -49,10 +49,17 @@ class HeapPage:
 
 
 class Disk:
-    """Durable page store: table → page_no → (page_lsn, row snapshot)."""
+    """Durable page store: table → page_no → (page_lsn, row snapshot).
+
+    Also holds the checkpoint-time secondary-index images instant
+    recovery repairs from (chain-driven per-index repair instead of a
+    full-heap rebuild): index name → list of (encoded key, rid) pairs,
+    written by ``Database.checkpoint`` and consumed by ``recovery.py``.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, dict[int, tuple[int, tuple]]] = {}
+        self._index_images: dict[str, list] = {}
 
     def write_page(self, table: str, page: HeapPage) -> None:
         self._tables.setdefault(table, {})[page.page_no] = (
@@ -70,11 +77,28 @@ class Disk:
     def page_numbers(self, table: str) -> list[int]:
         return sorted(self._tables.get(table, {}))
 
+    def page_lsn(self, table: str, page_no: int) -> int:
+        """Durable page LSN without a buffer-pool fetch (0 = no page)."""
+        stored = self._tables.get(table, {}).get(page_no)
+        return stored[0] if stored is not None else 0
+
     def drop_table(self, table: str) -> None:
         self._tables.pop(table, None)
 
     def tables(self) -> list[str]:
         return sorted(self._tables)
+
+    # -- index images (checkpoint ↔ instant recovery) -------------------------
+
+    def store_index_image(self, name: str, pairs: list) -> None:
+        self._index_images[name] = list(pairs)
+
+    def load_index_image(self, name: str) -> Optional[list]:
+        pairs = self._index_images.get(name)
+        return list(pairs) if pairs is not None else None
+
+    def drop_index_image(self, name: str) -> None:
+        self._index_images.pop(name, None)
 
 
 @dataclass
@@ -175,6 +199,11 @@ class Heap:
         #: instead of scanning the whole free set per insert.
         self._free_heap: list[int] = []
         self._row_count = 0
+        #: Instant-recovery replay gate: when set, called with a page
+        #: number before ANY page access, replaying that page's pending
+        #: log chain first (see ``Database.replay_page``). None outside
+        #: of a lazy restart — the common case pays one attribute test.
+        self.replay_hook = None
 
     # -- bootstrap --------------------------------------------------------------
 
@@ -189,6 +218,26 @@ class Heap:
             heap._row_count += used
             if used < heap.rows_per_page:
                 heap._note_free(page_no)
+        return heap
+
+    @classmethod
+    def recover_lazy(cls, table: str, pool: BufferPool,
+                     chain_pages: Iterable[int] = ()) -> "Heap":
+        """Heap bookkeeping without reading a single page.
+
+        ``chain_pages`` are pages named by pending per-page log chains
+        (they may not exist on disk yet). The page count must be exact —
+        it keeps fresh inserts off rid ranges the replay will fill — but
+        the free-space map starts empty: new inserts land on fresh pages
+        and ``_row_count`` only counts rows seen so far (documented
+        deviation; statistics catch up via RUNSTATS or pinned stats).
+        """
+        heap = cls(table, pool)
+        numbers = pool.disk.page_numbers(table)
+        if numbers:
+            heap._page_count = numbers[-1] + 1
+        for page_no in chain_pages:
+            heap._page_count = max(heap._page_count, page_no + 1)
         return heap
 
     # -- geometry (feeds optimizer statistics) -----------------------------------
@@ -285,6 +334,12 @@ class Heap:
     # -- internals -------------------------------------------------------------
 
     def _page_for(self, page_no: int, create: bool = False) -> HeapPage:
+        if self.replay_hook is not None:
+            # On-demand REDO: drain this page's pending log chain before
+            # anyone sees the page. The hook removes the page from the
+            # pending set before applying, so the replay's own accesses
+            # pass straight through (no recursion).
+            self.replay_hook(self.table, page_no)
         if page_no >= self._page_count:
             if not create:
                 raise DatabaseError(

@@ -1,13 +1,23 @@
-"""Write-ahead log with a bounded active window.
+"""Write-ahead log with a bounded active window and per-page log chains.
 
-The log is logical (row-level before/after images) because secondary
-indexes are rebuilt from the heap at restart. The *active window* spans
-from the oldest position still needed — the first LSN of the oldest
-in-flight transaction, or the last checkpoint, whichever is older — to the
-tail. When that window exceeds ``wal_capacity`` the appending transaction
+The log is logical (row-level before/after images); secondary indexes
+are repaired from checkpoint images plus the durable tail at restart
+(see ``recovery.py``). The *active window* spans from the oldest
+position still needed — the first LSN of the oldest in-flight
+transaction, or the last checkpoint, whichever is older — to the tail.
+When that window exceeds ``wal_capacity`` the appending transaction
 gets :class:`~repro.errors.LogFullError`, exactly the DB2 "log full"
 condition the paper's long-running utilities (load, reconcile,
 delete-group) had to dodge with periodic local commits (lesson §4, E8).
+
+Per-page chains (Sauer & Härder instant recovery): every redoable
+record carries ``prev_page_lsn``, the LSN of the previous redoable
+record against the same heap page, and :attr:`LogManager.page_heads`
+maps each page to its chain head. Checkpoints snapshot the head table
+so a restart can find every page's chain without scanning the whole
+log; :meth:`LogManager.crash` rebuilds the heads from the last durable
+checkpoint plus the surviving tail (prev links only ever point
+backward, so truncating the unforced tail cannot dangle a chain).
 """
 
 from __future__ import annotations
@@ -33,7 +43,12 @@ _REDOABLE = frozenset({INSERT, DELETE, UPDATE, CLR})
 
 @dataclass
 class LogRecord:
-    """One WAL entry. ``undo_next`` is only set for CLRs."""
+    """One WAL entry. ``undo_next`` is only set for CLRs.
+
+    ``prev_page_lsn`` threads the per-page log chain: for a redoable
+    record it is the LSN of the previous redoable record against the
+    same (table, page), or None at the chain's start.
+    """
 
     lsn: int
     kind: str
@@ -44,6 +59,7 @@ class LogRecord:
     before: Optional[tuple] = None
     after: Optional[tuple] = None
     undo_next: Optional[int] = None
+    prev_page_lsn: Optional[int] = None
     payload: Any = None  # checkpoint snapshots
 
     @property
@@ -74,6 +90,9 @@ class LogManager:
         self.records: list[LogRecord] = []
         self.flushed_upto = 0  # highest durable LSN; LSNs start at 1
         self.last_checkpoint_lsn = 0
+        #: (table, page_no) → LSN of the newest redoable record against
+        #: that page (the per-page chain head).
+        self.page_heads: dict[tuple[str, int], int] = {}
         self.metrics = WalMetrics()
 
     @property
@@ -106,11 +125,17 @@ class LogManager:
                 f"active log window {window} reached capacity "
                 f"{self.capacity} (txn {txn.id if txn else 0})")
         lsn = self.tail_lsn + 1
+        prev_page_lsn = None
+        if kind in _REDOABLE and table is not None and rid is not None:
+            page_key = (table, rid[0])
+            prev_page_lsn = self.page_heads.get(page_key)
+            self.page_heads[page_key] = lsn
         record = LogRecord(lsn=lsn, kind=kind,
                            txn_id=txn.id if txn is not None else 0,
                            prev_lsn=txn.last_lsn if txn is not None else None,
                            table=table, rid=rid, before=before, after=after,
-                           undo_next=undo_next, payload=payload)
+                           undo_next=undo_next, prev_page_lsn=prev_page_lsn,
+                           payload=payload)
         self.records.append(record)
         self.metrics.appends += 1
         if txn is not None:
@@ -144,6 +169,11 @@ class LogManager:
     def note_checkpoint(self, lsn: int) -> None:
         self.last_checkpoint_lsn = lsn
 
+    def forget_table(self, table: str) -> None:
+        """Drop a table's per-page chains (non-transactional DROP TABLE)."""
+        for key in [k for k in self.page_heads if k[0] == table]:
+            del self.page_heads[key]
+
     # -- crash/restart support -------------------------------------------------
 
     def durable_records(self) -> list[LogRecord]:
@@ -151,5 +181,28 @@ class LogManager:
         return self.records[: self.flushed_upto]
 
     def crash(self) -> None:
-        """Discard the unforced tail, as a machine crash would."""
+        """Discard the unforced tail, as a machine crash would.
+
+        The chain-head table is volatile state: rebuild it from the last
+        durable checkpoint's snapshot plus a forward scan of the records
+        that survive — exactly what restart recovery may rely on.
+        """
         del self.records[self.flushed_upto:]
+        if self.last_checkpoint_lsn > self.flushed_upto:
+            # The noted checkpoint fell past the durability watermark
+            # (test harnesses move flushed_upto backward): fall back to
+            # the newest checkpoint record that actually survived.
+            self.last_checkpoint_lsn = 0
+            for record in reversed(self.records):
+                if record.kind == CHECKPOINT:
+                    self.last_checkpoint_lsn = record.lsn
+                    break
+        heads: dict[tuple[str, int], int] = {}
+        ckpt = self.last_checkpoint_lsn
+        if ckpt:
+            payload = self.record(ckpt).payload or {}
+            heads.update(payload.get("chain_heads", {}))
+        for record in self.records[ckpt:]:
+            if record.redoable and record.table is not None:
+                heads[(record.table, record.rid[0])] = record.lsn
+        self.page_heads = heads

@@ -140,6 +140,20 @@ def test_null_injector_is_inert():
     NULL_INJECTOR.maybe_crash("wal.force.before:db", "db")
 
 
+def test_partition_is_a_valid_reply_kind():
+    from repro.chaos.faults import KINDS, REPLY_KINDS
+    assert "partition" in KINDS
+    assert REPLY_KINDS == ("partition",)
+    FaultRule("rpc.reply:dlfm-x", "partition")  # validates
+
+
+def test_default_plan_includes_a_partition_rule():
+    rules = [r for r in default_plan(seed=0).rules
+             if r.kind == "partition"]
+    assert rules, "default chaos plan must exercise partition/heal"
+    assert all(r.point.startswith("rpc.reply:") for r in rules)
+
+
 def test_fs_check_raises_transient_io_error():
     sim = Simulator(seed=0)
     injector = FaultInjector(FaultPlan(rules=[

@@ -1,0 +1,56 @@
+"""Backoff: geometric growth, cap, and jitter interaction."""
+
+import random
+
+from repro.kernel.backoff import Backoff
+
+
+def test_uncapped_sequence_is_geometric():
+    b = Backoff(0.5, factor=2.0)
+    assert [b.next() for _ in range(4)] == [0.5, 1.0, 2.0, 4.0]
+
+
+def test_cap_bounds_the_sequence():
+    b = Backoff(0.5, factor=2.0, cap=3.0)
+    assert [b.next() for _ in range(4)] == [0.5, 1.0, 2.0, 3.0]
+
+
+def test_reset_restarts_the_sequence():
+    b = Backoff(1.0, factor=2.0)
+    b.next(), b.next()
+    b.reset()
+    assert b.next() == 1.0
+
+
+def test_jitter_without_rng_is_ignored():
+    b = Backoff(1.0, factor=2.0, jitter=0.5)
+    assert b.next() == 1.0
+
+
+def test_jitter_stays_within_half_width():
+    b = Backoff(1.0, factor=2.0, jitter=0.1, rng=random.Random(7))
+    for expected in (1.0, 2.0, 4.0):
+        delay = b.next()
+        assert expected * 0.9 <= delay <= expected * 1.1
+
+
+def test_jittered_delay_never_exceeds_cap():
+    """Regression: jitter used to be applied AFTER clamping, so an
+    upward draw pushed capped delays past the configured ceiling."""
+    cap = 2.0
+    for seed in range(50):
+        b = Backoff(1.0, factor=4.0, cap=cap, jitter=0.5,
+                    rng=random.Random(seed))
+        for _ in range(6):
+            assert b.next() <= cap
+
+
+def test_capped_jitter_still_varies_below_the_cap():
+    """The clamp must not flatten jitter entirely: downward draws on a
+    capped delay stay below the cap (retries must not re-synchronize)."""
+    b = Backoff(1.0, factor=4.0, cap=2.0, jitter=0.5,
+                rng=random.Random(3))
+    delays = [b.next() for _ in range(8)]
+    capped = delays[2:]  # raw sequence is past the cap from attempt 2 on
+    assert any(d < 2.0 for d in capped)
+    assert all(d <= 2.0 for d in capped)

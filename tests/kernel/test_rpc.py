@@ -137,6 +137,39 @@ def test_serve_loop_exits_on_channel_close():
     assert server.error is None
 
 
+def test_partition_fault_drops_reply_but_request_was_processed():
+    """A ``partition`` fault on ``rpc.reply:<chan>`` models a healed
+    network partition: the server received AND processed the request,
+    only the reply is lost — the caller is left hanging, and the server
+    keeps serving later requests normally."""
+    from repro.chaos.faults import FaultInjector, FaultPlan, FaultRule
+
+    injector = FaultInjector(FaultPlan(rules=[
+        FaultRule("rpc.reply:svc", "partition", max_fires=1)]))
+    sim = Simulator(seed=0, injector=injector)
+    chan = Channel(sim, name="svc")
+    processed = []
+
+    def handler(payload):
+        processed.append(payload)
+        return payload * 10
+        yield  # pragma: no cover
+
+    make_server(sim, chan, handler)
+
+    def client():
+        reply = yield from cast(sim, chan, 1)
+        with pytest.raises(SimError):
+            yield from wait_reply(reply, timeout=5.0)  # reply never comes
+        # The partition healed (max_fires exhausted): a re-driven
+        # request goes through end to end.
+        return (yield from call(sim, chan, 2))
+
+    assert sim.run_process(client()) == 20
+    assert processed == [1, 2]  # the first request WAS processed
+    assert [f["rule"] for f in injector.fired] == ["partition@rpc.reply:svc"]
+
+
 def test_wait_reply_timeout_raises():
     sim = Simulator()
     chan = Channel(sim)

@@ -94,6 +94,28 @@ def test_prepared_txn_survives_crash_and_can_commit():
     assert db.indoubt_transactions() == []
 
 
+def test_resurrected_indoubt_is_stamped_with_recovery_time():
+    """Regression: resurrection used to stamp start time 0.0, making
+    age-based policies (oldest-transaction reporting, lock-wait
+    victim choice) see an infinitely old transaction."""
+    sim = Simulator()
+    db = make_db(sim)
+
+    def phase1():
+        yield Timeout(42.0)  # recovery happens well past t=0
+        session = db.session()
+        yield from session.execute("INSERT INTO t (k, v) VALUES (1, 'a')")
+        yield from db.prepare(session.txn)
+        return session.txn.id
+
+    txn_id = sim.run_process(phase1())
+    db.crash()
+    db.restart()
+    txn = db.find_prepared(txn_id)
+    assert txn.start_time == sim.now
+    assert txn.start_time >= 42.0
+
+
 def test_prepared_txn_survives_crash_and_can_roll_back():
     sim = Simulator()
     db = make_db(sim)

@@ -62,10 +62,10 @@ def check_indexes(db):
                 f"index {index.name} lost rid {rid} for key {key}"
 
 
-def run_scripted_trace():
+def run_scripted_trace(instant=True):
     """The fixed mixed DDL/DML trace; returns (db, [(end_lsn, snapshot)])."""
     sim = Simulator(seed=0)
-    db = Database(sim, "sweep", DBConfig())
+    db = Database(sim, "sweep", DBConfig(instant_recovery=instant))
     snaps = []
 
     def snap():
@@ -123,11 +123,11 @@ def run_scripted_trace():
     return db, snaps
 
 
-def run_random_trace(seed):
+def run_random_trace(seed, instant=True):
     """Seeded random DML trace over two tables; same return shape."""
     rng = random.Random(seed)
     sim = Simulator(seed=seed)
-    db = Database(sim, "sweep", DBConfig())
+    db = Database(sim, "sweep", DBConfig(instant_recovery=instant))
     snaps = []
 
     def script():
@@ -196,8 +196,10 @@ def sweep(build, prefixes=None):
     return tail
 
 
-def test_scripted_trace_every_prefix():
-    tail = sweep(run_scripted_trace)
+@pytest.mark.parametrize("instant", [True, False],
+                         ids=["instant", "classic"])
+def test_scripted_trace_every_prefix(instant):
+    tail = sweep(lambda: run_scripted_trace(instant))
     assert tail >= 20  # the trace is big enough to mean something
 
 
@@ -222,7 +224,134 @@ def test_full_prefix_equals_clean_restart():
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("instant", [True, False],
+                         ids=["instant", "classic"])
 @pytest.mark.parametrize("seed", [1, 2, 3])
-def test_random_trace_every_prefix(seed):
-    tail = sweep(lambda: run_random_trace(seed))
+def test_random_trace_every_prefix(seed, instant):
+    tail = sweep(lambda: run_random_trace(seed, instant))
     assert tail >= 80
+
+
+# ------------------------------------------------------- checkpointed sweep
+
+def run_checkpointed_trace(instant=True):
+    """Scripted trace with a mid-trace checkpoint: disk pages, index
+    images and per-page chain heads are all live at crash time. Returns
+    (db, snaps, checkpoint_lsn)."""
+    sim = Simulator(seed=0)
+    # Small pages spread the rows over several per-page chains.
+    db = Database(sim, "sweep", DBConfig(instant_recovery=instant,
+                                         rows_per_page=2))
+    snaps = []
+
+    def snap():
+        snaps.append((db.wal.tail_lsn, snapshot(db)))
+
+    def script():
+        s = db.session()
+        yield from s.execute("CREATE TABLE a (k INT, v TEXT)")
+        yield from s.execute("CREATE UNIQUE INDEX a_k ON a (k)")
+        yield from s.commit()
+        for k in range(6):
+            yield from s.execute(
+                "INSERT INTO a (k, v) VALUES (?, ?)", (k, f"v{k}"))
+        yield from s.commit()
+        snap()
+        db.checkpoint()
+        # Post-checkpoint tail: updates to checkpointed pages, fresh
+        # pages, a rollback, and a durable in-flight loser.
+        yield from s.execute("UPDATE a SET v = 'U2' WHERE k = 2")
+        yield from s.execute("DELETE FROM a WHERE k = 0")
+        yield from s.commit()
+        snap()
+        for k in range(6, 10):
+            yield from s.execute(
+                "INSERT INTO a (k, v) VALUES (?, ?)", (k, f"v{k}"))
+        yield from s.commit()
+        snap()
+        yield from s.execute("INSERT INTO a (k, v) VALUES (90, 'drop')")
+        yield from s.rollback()
+        snap()
+        yield from s.execute("UPDATE a SET v = 'LOSER' WHERE k = 4")
+        yield from s.execute("INSERT INTO a (k, v) VALUES (91, 'loser')")
+        db.wal.force()
+
+    sim.run_process(script())
+    return db, snaps, db.wal.last_checkpoint_lsn
+
+
+@pytest.mark.parametrize("instant", [True, False],
+                         ids=["instant", "classic"])
+def test_checkpointed_trace_every_tail_prefix(instant):
+    """Per-page-chain sweep: every prefix at or past the checkpoint is a
+    legitimate crash state (the checkpoint flushed the pages it covers),
+    and recovery from chain heads + index images must match the model."""
+    reference, _, ckpt = run_checkpointed_trace(instant)
+    tail = reference.wal.tail_lsn
+    assert ckpt > 0 and tail > ckpt + 5
+    for prefix in range(ckpt, tail + 1):
+        db, snaps, _ = run_checkpointed_trace(instant)
+        db.wal.flushed_upto = prefix
+        db.crash()
+        db.restart()
+        expected = expected_at(snaps, prefix)
+        check_recovered_state(db, expected)
+        check_indexes(db)
+        # Double restart: recovery's end checkpoint re-snapshots the
+        # still-pending chain heads, so an immediate second crash —
+        # i.e. a crash DURING the lazy replay — loses nothing.
+        db.crash()
+        db.restart()
+        check_recovered_state(db, expected)
+        check_indexes(db)
+
+
+# ------------------------------------------------------------- lazy replay
+
+def test_replay_gate_replays_pages_on_first_touch():
+    """After an instant restart the heap gate replays exactly the pages
+    a reader touches, on demand, and uninstalls itself once dry."""
+    db, snaps, _ = run_checkpointed_trace(instant=True)
+    db.crash()
+    db.restart()
+    assert db.replay_pending, "expected pending per-page chains"
+    assert db.heaps["a"].replay_hook is not None
+    before = dict(db.replay_pending)
+    replayed = db.metrics.pages_replayed  # undo already replayed its pages
+    # Touch one pending page directly: only that key drains.
+    table, page_no = sorted(before)[0]
+    db.heaps[table]._page_for(page_no)
+    assert (table, page_no) not in db.replay_pending
+    assert len(db.replay_pending) == len(before) - 1
+    assert db.metrics.pages_replayed == replayed + 1
+    # A full scan touches everything; the gate must then come off.
+    check_recovered_state(db, expected_at(snaps, db.wal.tail_lsn))
+    assert db.replay_pending == {}
+    assert all(heap.replay_hook is None for heap in db.heaps.values())
+
+
+def test_crash_during_lazy_replay_with_new_work_loses_nothing():
+    """Commit NEW transactions against a partially-replayed engine, crash
+    again mid-replay, and recover: both the old rows (still parked in
+    per-page chains) and the new work must survive."""
+    db, snaps, _ = run_checkpointed_trace(instant=True)
+    db.crash()
+    db.restart()
+    assert len(db.replay_pending) > 1, "need >1 pending page to be partial"
+    expected = dict(expected_at(snaps, db.wal.tail_lsn))
+
+    def new_work():
+        s = db.session()
+        yield from s.execute("INSERT INTO a (k, v) VALUES (50, 'new')")
+        yield from s.commit()
+
+    db.sim.run_process(new_work())
+    expected["a"] = sorted(expected["a"] + [(50, "new")])
+    # The insert replayed the page it landed on; others are still cold.
+    assert db.replay_pending, "crash must land mid-replay"
+    db.crash()
+    db.restart()
+    check_recovered_state(db, expected)
+    check_indexes(db)
+    # And a third restart after full replay is still a no-op.
+    check_recovered_state(db, expected)
