@@ -38,8 +38,9 @@ def main():
             (2, build_url("fs-west", "/docs/receipt.pdf")))
 
         gtrid = "TM-0001:branch-42"
-        local_id = yield from xa_prepare(session, gtrid)
-        print(f"prepared: global id {gtrid!r} ↔ local txn id {local_id} "
+        prepared = yield from xa_prepare(session, gtrid)
+        print(f"prepared: global id {gtrid!r} ↔ local txn id "
+              f"{prepared.txn_id}, vote {prepared.vote!r} "
               "(the DLFMs only ever saw the local id)")
 
         # --- host crashes before the TM's commit arrives ----------------
@@ -61,8 +62,10 @@ def main():
             print(f"probe blocked as expected: {error.reason}")
 
         # --- the TM finally says COMMIT ---------------------------------
-        yield from xa_commit(host, gtrid)
-        print("TM verdict applied: branch committed, phase 2 driven")
+        decision = yield from xa_commit(host, gtrid)
+        print(f"TM verdict applied: branch committed, phase 2 driven to "
+              f"{list(decision['servers'])} "
+              f"(read-only, skipped: {list(decision['readonly'])})")
 
         reader = host.db.session()
         rows = yield from reader.execute(

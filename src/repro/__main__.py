@@ -146,6 +146,22 @@ def cmd_bench(args) -> int:
     print(f"  restart       classic={recovery['classic']['first_commit_s']}s "
           f"instant={recovery['instant']['first_commit_s']}s "
           f"first-commit speedup={recovery['speedup']}x")
+    e1 = doc["e1"]
+    print(f"  e1 p95        off={e1['off']['p95_latency_s']}s "
+          f"fixed={e1['on']['p95_latency_s']}s "
+          f"auto={e1['auto']['p95_latency_s']}s")
+    burst = doc["burst"]
+    print(f"  burst         forces off={burst['off']['wal_forces']} "
+          f"auto={burst['auto']['wal_forces']} "
+          f"reduction={burst['force_reduction']}x")
+    load = doc["load"]
+    print(f"  load          cold={load['cold']['load_sim_s']}s "
+          f"bulk={load['bulk']['load_sim_s']}s "
+          f"speedup={load['speedup']}x")
+    headline_arm = doc["headline_arm"]
+    print(f"  headline      fixed={headline_arm['fixed']['ops_per_sec']} "
+          f"auto+bulk={headline_arm['adaptive']['ops_per_sec']} ops/s "
+          f"(speedup {headline_arm['speedup']}x)")
     failures = check(doc)
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)

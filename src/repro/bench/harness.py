@@ -9,7 +9,18 @@ trajectory in ``BENCH_PERF.json``:
   batched / group_commit / fast) reporting host↔DLFM RPC envelopes,
   physical WAL forces, and simulated per-transaction latency
   percentiles;
-* an E1-style multi-client workload with the flags off and on;
+* an E1-style multi-client workload with the flags off, on (fixed
+  window), and with the self-tuning ``"auto"`` window — the fixed
+  window's p95 latency tax at low concurrency is the trade-off auto
+  exists to remove;
+* a 100-client commit burst (no window vs auto) proving auto keeps the
+  fixed window's forces-saved win where it matters;
+* a ≥10k-file LOAD with per-row index maintenance vs the deferred
+  sorted bottom-up bulk build (DB2's LOAD build phase);
+* a headline mixed-workload arm — bursty link transactions racing a
+  concurrent LOAD — run under fixed+cold and auto+bulk, whose
+  sustained ``headline_ops_per_sec`` is gated by ``--check`` against
+  this label's previous run;
 * a time-to-first-commit-after-crash arm: the same ≥500-committed-txn
   WAL is recovered once with classic full-replay ARIES restart
   (``DBConfig.instant_recovery=False``) and once with the instant
@@ -81,6 +92,30 @@ class BenchConfig:
     #: last checkpoint, so restart sees a realistic tail of post-
     #: checkpoint work in both arms.
     recovery_checkpoint_frac: float = 0.9
+    #: Clients in the commit-burst arm (the adaptive-window acceptance
+    #: gate is quoted at a 100-client burst).
+    burst_clients: int = 100
+    #: Commit transactions per burst client.
+    burst_txns: int = 2
+    #: Files ingested by the LOAD arm (the acceptance gate is quoted at
+    #: ≥10k files).
+    load_files: int = 10_000
+    #: Rows per LOAD piece (one host transaction + CommitPiece each).
+    load_piece: int = 500
+    #: Per-entry index maintenance cost the LOAD and headline arms opt
+    #: into (half a page IO — an index-leaf write). The engine default
+    #: keeps ``TimingModel.index_entry`` at 0.0 so the historical
+    #: calibration is untouched; these arms exist to expose the bulk
+    #: build's win, so they charge the cost.
+    load_index_entry: float = 0.002
+    #: Clients in the headline mixed-workload arm.
+    headline_clients: int = 24
+    #: Link transactions per headline client.
+    headline_txns: int = 4
+    #: Links per headline client transaction.
+    headline_links: int = 3
+    #: Files the headline arm's concurrent LOAD ingests.
+    headline_load_files: int = 1_000
     quick: bool = False
 
     @classmethod
@@ -130,15 +165,14 @@ def _percentile(values: list, pct: float):
 
 
 def _wal_snapshot(system: System) -> dict:
-    forces = system.host.db.wal.metrics.forces
-    saved = system.host.db.wal.metrics.forces_saved
-    groups = system.host.db.wal.metrics.group_commits
-    for dlfm in system.dlfms.values():
-        forces += dlfm.db.wal.metrics.forces
-        saved += dlfm.db.wal.metrics.forces_saved
-        groups += dlfm.db.wal.metrics.group_commits
-    return {"forces": forces, "forces_saved": saved,
-            "group_commits": groups}
+    keys = ("forces", "forces_saved", "group_commits", "auto_immediate",
+            "auto_batched")
+    out = dict.fromkeys(keys, 0)
+    dbs = [system.host.db] + [d.db for d in system.dlfms.values()]
+    for db in dbs:
+        for key in keys:
+            out[key] += getattr(db.wal.metrics, key)
+    return out
 
 
 # --------------------------------------------------------------------- bulk
@@ -209,12 +243,20 @@ def run_bulk_arm(cfg: BenchConfig, arm: str) -> dict:
 
 # --------------------------------------------------------------------- E1
 
-def run_e1_arm(cfg: BenchConfig, fast: bool) -> dict:
-    """The E1-style workload at reduced scale, flags off or on."""
+def run_e1_arm(cfg: BenchConfig, mode: str) -> dict:
+    """The E1-style workload at reduced scale.
+
+    ``mode``: ``"off"`` = flags off (baseline), ``"on"`` = RPC batching +
+    the fixed group-commit window (the historical fast arm), ``"auto"`` =
+    RPC batching + the self-tuning window. The E1 client count is LOW
+    concurrency for group commit — the fixed window taxes every commit's
+    p95 here (the §9 trade-off), which is exactly what auto must avoid.
+    """
     from repro.workloads.runner import SystemTestConfig, run_system_test
 
-    batch = fast
-    window = cfg.group_commit_window if fast else 0.0
+    batch = mode != "off"
+    window: object = {"off": 0.0, "on": cfg.group_commit_window,
+                      "auto": "auto"}[mode]
     timing = TimingModel.calibrated()
     dlfm_config = DLFMConfig.tuned(timing=timing)
     dlfm_config.local_db.group_commit_window = window
@@ -233,9 +275,253 @@ def run_e1_arm(cfg: BenchConfig, fast: bool) -> dict:
         "rpcs": dlfm.metrics.rpcs,
         "wal_forces": wal["forces"],
         "wal_forces_saved": wal["forces_saved"],
+        "auto_immediate": wal["auto_immediate"],
+        "auto_batched": wal["auto_batched"],
         "p50_latency_s": report.latency_percentile(50),
         "p95_latency_s": report.latency_percentile(95),
         "p99_latency_s": report.latency_percentile(99),
+    }
+
+
+# --------------------------------------------------------------------- burst
+
+def run_burst_arm(cfg: BenchConfig, window) -> dict:
+    """``burst_clients`` committers released at once against ONE minidb
+    WAL — the regime where group commit pays. Auto must keep the fixed
+    window's forces-saved win here (its EWMA sees the dense arrivals and
+    opens batching windows)."""
+    from repro.kernel.sim import Simulator
+    from repro.minidb import Database, DBConfig as MiniDBConfig
+
+    sim = Simulator(seed=cfg.seed)
+    db = Database(sim, "burst", MiniDBConfig(
+        group_commit_window=window, next_key_locking=False,
+        isolation="CS", timing=TimingModel.calibrated()))
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (k INT, v TEXT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        for k in range(cfg.burst_clients):
+            yield from session.execute(
+                "INSERT INTO t (k, v) VALUES (?, ?)", (k, "init"))
+        yield from session.commit()
+        db.set_table_stats("t", card=1_000_000, colcard={"k": 1_000_000})
+
+    sim.run_process(setup())
+    forces_before = db.wal.metrics.forces
+    latencies: list[float] = []
+
+    def committer(k: int):
+        session = db.session()
+        for t in range(cfg.burst_txns):
+            started = sim.now
+            yield from session.execute(
+                "UPDATE t SET v = ? WHERE k = ?", (f"v{t}", k))
+            yield from session.commit()
+            latencies.append(sim.now - started)
+
+    def root():
+        procs = [sim.spawn(committer(k), f"burst-{k}")
+                 for k in range(cfg.burst_clients)]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    metrics = db.wal.metrics
+    return {
+        "window": window,
+        "clients": cfg.burst_clients,
+        "txns": cfg.burst_clients * cfg.burst_txns,
+        "wal_forces": metrics.forces - forces_before,
+        "wal_forces_saved": metrics.forces_saved,
+        "wal_group_commits": metrics.group_commits,
+        "auto_immediate": metrics.auto_immediate,
+        "auto_batched": metrics.auto_batched,
+        "p50_commit_s": _percentile(latencies, 50),
+        "p95_commit_s": _percentile(latencies, 95),
+    }
+
+
+def run_burst(cfg: BenchConfig) -> dict:
+    """No-window vs auto under the 100-client burst."""
+    off = run_burst_arm(cfg, 0.0)
+    auto = run_burst_arm(cfg, "auto")
+    return {
+        "off": off,
+        "auto": auto,
+        "force_reduction": round(
+            off["wal_forces"] / max(auto["wal_forces"], 1), 2),
+    }
+
+
+# ---------------------------------------------------------------------- load
+
+def _load_timing(cfg: BenchConfig) -> TimingModel:
+    timing = TimingModel.calibrated()
+    timing.index_entry = cfg.load_index_entry
+    return timing
+
+
+def run_load_arm(cfg: BenchConfig, bulk: bool, files: int,
+                 seed_offset: int = 0) -> dict:
+    """One LOAD of ``files`` files into an indexed datalink table, with
+    per-row index maintenance (cold) or the deferred sorted bottom-up
+    build (bulk). The host DB charges ``load_index_entry`` per index
+    entry so the maintenance strategy is visible in simulated time."""
+    from repro.host.load import LoadUtility
+
+    dlfm_config = DLFMConfig.tuned(timing=TimingModel.calibrated())
+    host_config = HostConfig(batch_datalinks=True)
+    host_config.db.timing = _load_timing(cfg)
+    host_config.db.next_key_locking = False
+    host_config.db.isolation = "CS"
+    system = System(seed=cfg.seed + seed_offset, dlfm_config=dlfm_config,
+                    host_config=host_config)
+    host = system.host
+
+    def setup():
+        yield from host.create_datalink_table(
+            "assets", [("id", "INT"), ("name", "TEXT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        session = host.db.session()
+        yield from session.execute("CREATE INDEX assets_id ON assets (id)")
+        yield from session.execute(
+            "CREATE INDEX assets_doc ON assets (doc)")
+        yield from session.commit()
+
+    system.run(setup())
+    host.db.set_table_stats("assets", card=1_000_000,
+                            colcard={"id": 1_000_000, "doc": 1_000_000})
+    entries = []
+    for i in range(files):
+        path = f"/load/f{i:05d}"
+        system.create_user_file("fs1", path, owner="load")
+        entries.append(({"id": i, "name": f"n{i}"},
+                        build_url("fs1", path)))
+    utility = LoadUtility(host, "assets", "doc", entries,
+                          piece_size=cfg.load_piece, bulk=bulk)
+    started = system.sim.now
+    stats = system.run(utility.run(), "load")
+    return {
+        "mode": "bulk" if bulk else "cold",
+        "files": files,
+        "rows": stats.rows_inserted,
+        "linked": stats.linked,
+        "pieces": stats.pieces,
+        "bulk_merged": stats.bulk_merged,
+        "load_sim_s": round(system.sim.now - started, 6),
+    }
+
+
+def run_load(cfg: BenchConfig) -> dict:
+    """Cold vs bulk index maintenance over the identical LOAD."""
+    cold = run_load_arm(cfg, bulk=False, files=cfg.load_files)
+    bulk = run_load_arm(cfg, bulk=True, files=cfg.load_files)
+    return {
+        "cold": cold,
+        "bulk": bulk,
+        "speedup": round(cold["load_sim_s"]
+                         / max(bulk["load_sim_s"], 1e-9), 2),
+    }
+
+
+# ------------------------------------------------------------------ headline
+
+def run_headline_arm(cfg: BenchConfig, adaptive: bool) -> dict:
+    """The raw-speed headline: a sustained mixed workload — bursty link
+    transactions from ``headline_clients`` clients racing a concurrent
+    LOAD — under the OLD commit path (fixed group-commit window + cold
+    per-row LOAD index maintenance) or the NEW one (auto window + bulk
+    build). Reports sustained operations per simulated second."""
+    from repro.host.load import LoadUtility
+
+    window: object = "auto" if adaptive else cfg.group_commit_window
+    dlfm_config = DLFMConfig.tuned(timing=TimingModel.calibrated())
+    dlfm_config.local_db.group_commit_window = window
+    host_config = HostConfig(batch_datalinks=True,
+                             bulk_load_indexes=adaptive)
+    host_config.db.timing = _load_timing(cfg)
+    host_config.db.group_commit_window = window
+    host_config.db.next_key_locking = False
+    host_config.db.isolation = "CS"
+    system = System(seed=cfg.seed, dlfm_config=dlfm_config,
+                    host_config=host_config)
+    host = system.host
+
+    def setup():
+        yield from host.create_datalink_table(
+            "media", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        session = host.db.session()
+        yield from session.execute("CREATE INDEX media_id ON media (id)")
+        yield from session.execute("CREATE INDEX media_doc ON media (doc)")
+        yield from session.commit()
+
+    system.run(setup())
+    host.db.set_table_stats("media", card=1_000_000,
+                            colcard={"id": 1_000_000, "doc": 1_000_000})
+    entries = []
+    for i in range(cfg.headline_load_files):
+        path = f"/hl/load/f{i:05d}"
+        system.create_user_file("fs1", path, owner="load")
+        entries.append(({"id": 1_000_000 + i}, build_url("fs1", path)))
+    ops = {"count": 0}
+
+    def loader():
+        utility = LoadUtility(host, "media", "doc", entries,
+                              piece_size=cfg.load_piece)
+        stats = yield from utility.run()
+        ops["count"] += stats.rows_inserted
+
+    def client(cid: int):
+        session = system.session()
+        for t in range(cfg.headline_txns):
+            for k in range(cfg.headline_links):
+                row_id = (cid * 1_000 + t) * 100 + k
+                path = f"/hl/c{cid}/t{t}/f{k}"
+                system.create_user_file("fs1", path, owner=f"c{cid}")
+                yield from session.execute(
+                    "INSERT INTO media (id, doc) VALUES (?, ?)",
+                    (row_id, build_url("fs1", path)))
+                ops["count"] += 1
+            yield from session.commit()
+            ops["count"] += 1
+
+    started = system.sim.now
+
+    def root():
+        procs = [system.sim.spawn(loader(), "hl-loader")]
+        procs += [system.sim.spawn(client(i), f"hl-client-{i}")
+                  for i in range(cfg.headline_clients)]
+        for proc in procs:
+            yield from proc.join()
+
+    system.run(root())
+    elapsed = system.sim.now - started
+    wal = _wal_snapshot(system)
+    return {
+        "mode": "adaptive" if adaptive else "fixed",
+        "ops": ops["count"],
+        "sim_seconds": round(elapsed, 6),
+        "ops_per_sec": round(ops["count"] / max(elapsed, 1e-9), 1),
+        "wal_forces": wal["forces"],
+        "wal_forces_saved": wal["forces_saved"],
+        "auto_immediate": wal["auto_immediate"],
+        "auto_batched": wal["auto_batched"],
+    }
+
+
+def run_headline(cfg: BenchConfig) -> dict:
+    """Fixed+cold vs auto+bulk over the identical mixed workload."""
+    fixed = run_headline_arm(cfg, adaptive=False)
+    adaptive = run_headline_arm(cfg, adaptive=True)
+    return {
+        "fixed": fixed,
+        "adaptive": adaptive,
+        "headline_ops_per_sec": adaptive["ops_per_sec"],
+        "speedup": round(adaptive["ops_per_sec"]
+                         / max(fixed["ops_per_sec"], 1e-9), 2),
     }
 
 
@@ -661,7 +947,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr6-instant-recovery"
+HISTORY_LABEL = "pr7-adaptive-commit-path"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -695,17 +981,27 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     multi_server = run_multi_server(cfg)
     recovery = run_recovery(cfg)
     top = str(max(cfg.ms_server_counts))
-    e1 = {"off": run_e1_arm(cfg, fast=False),
-          "on": run_e1_arm(cfg, fast=True)}
+    e1 = {"off": run_e1_arm(cfg, "off"),
+          "on": run_e1_arm(cfg, "on"),
+          "auto": run_e1_arm(cfg, "auto")}
+    burst = run_burst(cfg)
+    load = run_load(cfg)
+    headline_arm = run_headline(cfg)
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
     headline = (
-        f"instant restart first-commit {recovery['speedup']}x over "
-        f"full replay on a {recovery['classic']['log_records']}-record "
-        f"WAL; scatter-gather 2PC commit p95 "
-        f"{multi_server[top]['p95_speedup']}x at {top} participants; "
-        f"archive drain {daemons['archive_drain']['speedup']}x with "
-        f"{cfg.drain_workers} copy workers")
+        f"adaptive commit path {headline_arm['headline_ops_per_sec']} "
+        f"ops/s sustained (auto window + bulk LOAD, "
+        f"{headline_arm['speedup']}x over fixed+cold); bulk LOAD "
+        f"{load['speedup']}x at {cfg.load_files} files; "
+        f"{burst['force_reduction']}x fewer WAL forces under a "
+        f"{cfg.burst_clients}-client burst with auto")
+    # The headline gate compares against THIS label's previous run (the
+    # row about to be replaced), so a regression in the commit path fails
+    # --check even before the trajectory is rewritten.
+    prior = next((row for row in history or []
+                  if row.get("label") == HISTORY_LABEL), None)
+    headline_ref = (prior or {}).get("headline_ops_per_sec")
     entry = {
         "label": HISTORY_LABEL,
         "headline": headline,
@@ -721,6 +1017,10 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             recovery["classic"]["first_commit_s"],
         "e1_p95_on_s": e1["on"]["p95_latency_s"],
         "e1_p95_off_s": e1["off"]["p95_latency_s"],
+        "e1_p95_auto_s": e1["auto"]["p95_latency_s"],
+        "burst_force_reduction": burst["force_reduction"],
+        "load_speedup": load["speedup"],
+        "headline_ops_per_sec": headline_arm["headline_ops_per_sec"],
     }
     history = update_history(history, entry)
     return {
@@ -742,6 +1042,15 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "ms_server_counts": list(cfg.ms_server_counts),
             "recovery_txns": cfg.recovery_txns,
             "recovery_checkpoint_frac": cfg.recovery_checkpoint_frac,
+            "burst_clients": cfg.burst_clients,
+            "burst_txns": cfg.burst_txns,
+            "load_files": cfg.load_files,
+            "load_piece": cfg.load_piece,
+            "load_index_entry": cfg.load_index_entry,
+            "headline_clients": cfg.headline_clients,
+            "headline_txns": cfg.headline_txns,
+            "headline_links": cfg.headline_links,
+            "headline_load_files": cfg.headline_load_files,
             "quick": cfg.quick,
         },
         "bulk": {"arms": arms, "ratios": ratios},
@@ -749,6 +1058,11 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "multi_server": multi_server,
         "recovery": recovery,
         "e1": e1,
+        "burst": burst,
+        "load": load,
+        "headline_arm": headline_arm,
+        "headline_ops_per_sec": headline_arm["headline_ops_per_sec"],
+        "headline_ops_per_sec_ref": headline_ref,
         "sentinels": sentinels,
         "history": history,
         "headline": headline,
@@ -792,6 +1106,37 @@ def check(doc: dict) -> list[str]:
             f"recovery arm seeded only "
             f"{recovery.get('classic', {}).get('seed_txns')} committed "
             f"txns (< 500)")
+    e1 = doc.get("e1", {})
+    if "auto" in e1:
+        off_p95 = e1["off"]["p95_latency_s"] or 0
+        auto_p95 = e1["auto"]["p95_latency_s"] or 0
+        if auto_p95 > 2 * off_p95:
+            failures.append(
+                f"E1 auto-window p95 {auto_p95}s > 2x the no-window "
+                f"baseline {off_p95}s at low concurrency")
+    burst = doc.get("burst", {})
+    if burst and burst.get("force_reduction", 0) < 2:
+        failures.append(
+            f"burst force_reduction {burst.get('force_reduction')} < 2x "
+            f"under the {burst.get('off', {}).get('clients')}-client "
+            f"burst with auto")
+    load = doc.get("load", {})
+    if load:
+        if load.get("cold", {}).get("files", 0) < 10_000:
+            failures.append(
+                f"LOAD arm ingested only "
+                f"{load.get('cold', {}).get('files')} files (< 10k)")
+        if load.get("speedup", 0) < 2:
+            failures.append(
+                f"bulk LOAD speedup {load.get('speedup')} < 2x")
+    ops = doc.get("headline_ops_per_sec")
+    if ops is not None and ops <= 0:
+        failures.append(f"headline_ops_per_sec {ops} <= 0")
+    ref = doc.get("headline_ops_per_sec_ref")
+    if ops is not None and ref and ops < 0.9 * ref:
+        failures.append(
+            f"headline_ops_per_sec {ops} is more than 10% below this "
+            f"label's previous run ({ref})")
     for name, sentinel in doc["sentinels"].items():
         if not sentinel["preserved"]:
             failures.append(f"sentinel {name} outcome NOT preserved")

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.chaos.faults import FaultInjector, FaultPlan, default_plan
 from repro.chaos.invariants import Violation, check_invariants
+from repro.dlfm.config import DLFMConfig
 from repro.errors import ReproError, TransactionAborted
 from repro.host import DatalinkSpec, build_url
 from repro.host.indoubt import resolve_indoubts
@@ -177,7 +178,14 @@ class _Campaign:
                      else default_plan(config.seed))
         self.injector = FaultInjector(self.plan)
         self.injector.enabled = False  # setup runs clean
+        # Adaptive group commit on the local databases, with the batching
+        # cut-off widened to the campaign's (virtual-time) commit gaps so
+        # leaders actually form and ``wal.group:leader`` is exercised.
+        dlfm_config = DLFMConfig.tuned()
+        dlfm_config.local_db = dlfm_config.local_db.with_changes(
+            group_commit_window="auto", group_commit_max_window=2.0)
         self.system = System(seed=config.seed, servers=config.servers,
+                             dlfm_config=dlfm_config,
                              injector=self.injector)
         self.rng = self.system.sim.stream("chaos:workload")
         self.result = CampaignResult(config, self.plan)

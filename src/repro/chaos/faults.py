@@ -16,6 +16,12 @@ point                      kinds                     wired into
 ``wal.force.before:<db>``  crash                     record appended, not
                                                      yet durable
 ``wal.force.after:<db>``   crash                     durable, ack lost
+``wal.group:leader:<db>``  crash                     group-commit leader
+                                                     between window expiry
+                                                     and the shared force:
+                                                     every member's record
+                                                     is in the unforced
+                                                     tail, none may ack
 ``lock.acquire:<db>``      lock_timeout,             forced victim at
                            lock_deadlock             lock-manager entry
 ``daemon.pass:<node>:<d>`` crash                     daemon pass entry
@@ -322,6 +328,12 @@ def default_plan(seed: int = 0) -> FaultPlan:
         FaultRule("wal.force.before:dlfm-*", "crash", prob=0.002,
                   max_fires=2),
         FaultRule("wal.force.after:dlfm-*", "crash", prob=0.002,
+                  max_fires=2),
+        # Group-commit leader window (the campaign runs the local
+        # databases with group_commit_window="auto", so leaders exist):
+        # crash after the window expires but before the shared force —
+        # the never-ack contract must fail every member of the group.
+        FaultRule("wal.group:leader:dlfm-*", "crash", prob=0.02,
                   max_fires=2),
         FaultRule("wal.force.after:host-*", "crash", prob=0.001,
                   max_fires=1),

@@ -47,6 +47,13 @@ class HostConfig:
     #: way — a no-vote still aborts everyone, including participants
     #: that already prepared (§3.3).
     scatter_gather: bool = True
+    #: LOAD utility: defer per-row index maintenance on the target table
+    #: and fold the run into each B+tree with one sorted bottom-up build
+    #: at the end (DB2's LOAD "build phase"). Loaded rows are invisible
+    #: to index scans until the build, mirroring DB2's load-pending
+    #: state; a crash discards the deferral and restart rebuilds the
+    #: indexes from durable state.
+    bulk_load_indexes: bool = False
     token_expiry: float = 600.0
     indoubt_poll_period: float = 5.0
 
@@ -64,6 +71,10 @@ class HostMetrics:
     #: Participants that answered phase 1 with the read-only vote and
     #: were released without a decision row or a phase-2 Commit.
     readonly_votes: int = 0
+    #: XA branches released whole at phase 1 (XA_RDONLY): every
+    #: participant voted read-only and the local transaction wrote
+    #: nothing, so the TM skips phase 2 for the entire branch.
+    readonly_branches: int = 0
     indoubt_commits: int = 0
     indoubt_aborts: int = 0
     tokens_issued: int = 0
@@ -85,6 +96,9 @@ class HostDB:
         self._grp_counter = itertools.count(1)
         self._backup_counter = itertools.count(1)
         self.backups: dict[int, dict] = {}
+        #: gtrid → XAPrepareResult for branches this incarnation
+        #: prepared (volatile; xa_recover degrades gracefully without it).
+        self.xa_votes: dict[str, object] = {}
         self._bootstrap_schema()
 
     def _bootstrap_schema(self) -> None:
@@ -167,6 +181,7 @@ class HostDB:
 
     def crash(self) -> None:
         self.db.crash()
+        self.xa_votes.clear()
 
     def restart(self):
         """Generator: restart + distributed recovery (paper §3.3).

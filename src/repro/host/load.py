@@ -23,6 +23,7 @@ every piece's files.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.dlfm import api
 from repro.errors import DataLinkError, LinkError
@@ -37,6 +38,9 @@ class LoadStats:
     rows_inserted: int = 0
     pieces: int = 0
     batches: int = 0
+    #: Index entries folded in by the end-of-load bulk build (0 when
+    #: per-row maintenance ran, i.e. ``bulk`` was off).
+    bulk_merged: int = 0
     resumed: bool = False
 
 
@@ -44,13 +48,20 @@ class LoadUtility:
     """One bulk ingest into one datalink table."""
 
     def __init__(self, host, table: str, column: str,
-                 entries: list[tuple[dict, str]], piece_size: int = 100):
-        """``entries``: list of (column-values dict, url) pairs."""
+                 entries: list[tuple[dict, str]], piece_size: int = 100,
+                 bulk: Optional[bool] = None):
+        """``entries``: list of (column-values dict, url) pairs.
+
+        ``bulk`` defers the target table's index maintenance to one
+        sorted bottom-up build at end of load (DB2's LOAD build phase);
+        defaults to ``HostConfig.bulk_load_indexes``.
+        """
         self.host = host
         self.table = table
         self.column = column
         self.entries = list(entries)
         self.piece_size = piece_size
+        self.bulk = host.config.bulk_load_indexes if bulk is None else bulk
         self.stats = LoadStats()
         spec = host.datalink_columns.get(table, {}).get(column)
         if spec is None:
@@ -88,8 +99,19 @@ class LoadUtility:
     def run(self):
         """Generator: ingest everything, then prepare+commit the utility
         transaction. Returns LoadStats."""
-        while self._position < len(self.entries):
-            yield from self._load_piece()
+        if self.bulk:
+            self.host.db.begin_bulk_load(self.table)
+        try:
+            while self._position < len(self.entries):
+                yield from self._load_piece()
+        finally:
+            # Merge even on failure: earlier pieces are committed and
+            # their rows must become index-visible (resume semantics —
+            # only the failing piece's host transaction rolled back, and
+            # undo already dropped its deferred entries).
+            if self.bulk:
+                self.stats.bulk_merged = yield from (
+                    self.host.db.end_bulk_load(self.table))
         yield from self._finish()
         return self.stats
 

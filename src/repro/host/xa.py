@@ -24,9 +24,30 @@ design point.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.dlfm import api
 from repro.errors import DataLinkError, ReproError, TransactionAborted
 from repro.kernel import rpc
+
+
+@dataclass(frozen=True)
+class XAPrepareResult:
+    """Phase-1 outcome the external TM sees for this host branch.
+
+    ``vote == "commit"``: the branch is indoubt and the TM must call
+    :func:`xa_commit` or :func:`xa_rollback`. ``vote == "read-only"``
+    (XA_RDONLY): the whole branch — every DLFM participant and the
+    host's own local transaction — read without writing, so it was
+    released at phase 1: no PREPARE record, no ``xa_pending`` rows, and
+    the TM must NOT drive phase 2 for it. ``readonly_servers`` lists
+    the participants individually released by their read-only vote
+    (phase 2 skips them even when the branch as a whole votes commit).
+    """
+
+    txn_id: int
+    vote: str
+    readonly_servers: tuple = ()
 
 
 def _bootstrap(host) -> None:
@@ -43,7 +64,8 @@ def _bootstrap(host) -> None:
 def xa_prepare(session, gtrid: str):
     """Generator: phase 1 of the global transaction for this host branch.
 
-    Returns the LOCAL transaction id (distinct from ``gtrid``).
+    Returns an :class:`XAPrepareResult` carrying the LOCAL transaction
+    id (distinct from ``gtrid``) and this branch's vote.
     """
     host = session.host
     _bootstrap(host)
@@ -96,11 +118,29 @@ def xa_prepare(session, gtrid: str):
                 (gtrid, server))
         yield from prune.commit()
 
-    # 3. Prepare the host's own local transaction.
     local_txn = session.session.txn
+    if not session.participants and (local_txn is None
+                                     or local_txn.last_lsn is None):
+        # 3a. Read-only fast path: every participant voted read-only and
+        # the local transaction wrote nothing — release the whole branch
+        # at phase 1 (XA_RDONLY). Read locks drop now, no PREPARE record
+        # is forced, the registration is erased, and the TM never drives
+        # phase 2 for this gtrid.
+        if local_txn is not None:
+            yield from host.db.commit(local_txn)
+        session.session.txn = None
+        yield from _forget(host, gtrid)
+        host.metrics.readonly_branches += 1
+        result = XAPrepareResult(txn_id, "read-only", tuple(readonly))
+        host.xa_votes[gtrid] = result
+        return result
+
+    # 3. Prepare the host's own local transaction.
     yield from host.db.prepare(local_txn)
     session.session.txn = None  # the session must not touch it any more
-    return txn_id
+    result = XAPrepareResult(txn_id, "commit", tuple(readonly))
+    host.xa_votes[gtrid] = result
+    return result
 
 
 def _pending_rows(host, gtrid: str):
@@ -116,13 +156,20 @@ def _pending_rows(host, gtrid: str):
 
 
 def xa_commit(host, gtrid: str):
-    """Generator: the TM decided commit for this branch."""
+    """Generator: the TM decided commit for this branch.
+
+    Returns ``{"txn_id", "servers", "readonly"}`` — the participants
+    phase 2 was driven to, and those already released at phase 1 by
+    their read-only vote (no phase-2 message goes to them).
+    """
     txn_id, servers = yield from _pending_rows(host, gtrid)
     txn = host.db.find_prepared(txn_id)
     # The local COMMIT record (forced) is the branch's durable decision.
     yield from host.db.commit(txn)
     yield from _drive_phase2(host, gtrid, txn_id, servers)
-    return txn_id
+    vote = host.xa_votes.pop(gtrid, None)
+    return {"txn_id": txn_id, "servers": tuple(servers),
+            "readonly": vote.readonly_servers if vote is not None else ()}
 
 
 def xa_rollback(host, gtrid: str, session=None):
@@ -153,6 +200,7 @@ def xa_rollback(host, gtrid: str, session=None):
     elif session is not None:
         yield from session.session.rollback()
     yield from _forget(host, gtrid)
+    host.xa_votes.pop(gtrid, None)
     return txn_id
 
 
@@ -182,14 +230,21 @@ def _forget(host, gtrid: str):
 
 
 def xa_recover(host):
-    """Generator: after a host restart — classify surviving branches.
+    """Generator: classify surviving branches (after a host restart too).
 
-    Returns {gtrid: "indoubt" | "commit-pending"}:
+    Returns ``{gtrid: {"state", "txn_id", "readonly"}}``:
 
-    * ``indoubt`` — the local transaction is still prepared; the TM must
-      call :func:`xa_commit` or :func:`xa_rollback`.
-    * ``commit-pending`` — the local commit happened but phase 2 never
-      finished; :func:`xa_finish_pending` re-drives it.
+    * ``state == "indoubt"`` — the local transaction is still prepared;
+      the TM must call :func:`xa_commit` or :func:`xa_rollback`.
+    * ``state == "commit-pending"`` — the local commit happened but
+      phase 2 never finished; :func:`xa_finish_pending` re-drives it.
+
+    ``readonly`` lists participants released at phase 1 by a read-only
+    vote (best effort: the vote record is volatile, so after a restart
+    it is empty — correctly so, since those participants were already
+    pruned from the durable registration and need no phase 2). Branches
+    that voted read-only as a whole never appear here: they finished at
+    phase 1 and left no ``xa_pending`` rows behind.
     """
     if "xa_pending" not in host.db.catalog.tables:
         return {}
@@ -198,9 +253,15 @@ def xa_recover(host):
         "SELECT gtrid, txn_id FROM xa_pending WHERE server = ?", ("*",))
     yield from reader.commit()
     prepared_ids = {t.id for t in host.db.indoubt_transactions()}
-    return {gtrid: ("indoubt" if txn_id in prepared_ids
-                    else "commit-pending")
-            for gtrid, txn_id in rows.rows}
+    status = {}
+    for gtrid, txn_id in rows.rows:
+        vote = host.xa_votes.get(gtrid)
+        status[gtrid] = {
+            "state": ("indoubt" if txn_id in prepared_ids
+                      else "commit-pending"),
+            "txn_id": txn_id,
+            "readonly": vote.readonly_servers if vote is not None else ()}
+    return status
 
 
 def xa_finish_pending(host):
@@ -208,8 +269,8 @@ def xa_finish_pending(host):
     branch (idempotent at the DLFMs)."""
     status = yield from xa_recover(host)
     finished = []
-    for gtrid, state in sorted(status.items()):
-        if state != "commit-pending":
+    for gtrid, info in sorted(status.items()):
+        if info["state"] != "commit-pending":
             continue
         txn_id, servers = yield from _pending_rows(host, gtrid)
         yield from _drive_phase2(host, gtrid, txn_id, servers)

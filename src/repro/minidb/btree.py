@@ -226,19 +226,38 @@ class BTree:
             leaf = leaf.next
 
     def bulk_load(self, pairs) -> None:
-        """Reload from ``(encoded_key, rid)`` pairs (a checkpoint image).
+        """Reload from ``(encoded_key, rid)`` pairs, in any order.
 
-        Bypasses the uniqueness check: the image was consistent when
-        taken, and recovery's delta replay reproduces historical states
-        that were each individually consistent.
+        Sorts the run once, then builds bottom-up: sequential leaf fills
+        chained left-to-right, then inner levels over their minimum keys
+        — the classic LOAD-style build, with no per-pair descent or
+        splits. Duplicate keys are kept (entries are (key, rid) pairs);
+        uniqueness is bypassed: callers pass checkpoint images or
+        pre-checked LOAD runs that were consistent when taken.
         """
+        entries = sorted((tuple(ekey), rid) for ekey, rid in pairs)
         self.clear()
-        for ekey, rid in pairs:
-            split = self._insert(self._root, tuple(ekey), rid)
-            if split is not None:
-                sep, right = split
-                self._root = _Inner([sep], [self._root, right])
-            self._count += 1
+        self._count = len(entries)
+        if not entries:
+            return
+        level: list[tuple[tuple, object]] = []
+        previous: Optional[_Leaf] = None
+        for start in range(0, len(entries), self.order):
+            leaf = _Leaf()
+            leaf.entries = entries[start:start + self.order]
+            if previous is not None:
+                previous.next = leaf
+            previous = leaf
+            level.append((leaf.entries[0][0], leaf))
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), self.order):
+                group = level[start:start + self.order]
+                node = _Inner([key for key, _ in group[1:]],
+                              [child for _, child in group])
+                parents.append((group[0][0], node))
+            level = parents
+        self._root = level[0][1]
 
     @property
     def nlevels(self) -> int:

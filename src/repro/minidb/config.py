@@ -8,6 +8,7 @@ next-key-locking registry switch, and log capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Union
 
 
 @dataclass
@@ -27,6 +28,14 @@ class TimingModel:
     log_force: float = 0.006
     lock_op: float = 0.00002
     rpc: float = 0.002
+    #: Per-entry secondary-index maintenance (DB2 logs index pages; our
+    #: indexes are memory-resident, so this models that write cost).
+    #: 0.0 keeps the historical "indexes are free" calibration — the
+    #: LOAD bench arm opts in to expose the bulk-build win.
+    index_entry: float = 0.0
+    #: Relative per-entry cost of a sorted bottom-up bulk build versus
+    #: per-row insert maintenance (sequential index-page writes).
+    bulk_index_factor: float = 0.1
 
     @classmethod
     def zero(cls) -> "TimingModel":
@@ -47,6 +56,9 @@ class TimingModel:
 
     def rpc_cost(self) -> float:
         return self.rpc if self.enabled else 0.0
+
+    def index_entry_cost(self, entries: float = 1) -> float:
+        return self.index_entry * entries if self.enabled else 0.0
 
 
 @dataclass
@@ -86,7 +98,26 @@ class DBConfig:
     #: forces to the log tail, covering everyone who appended meanwhile.
     #: 0.0 (the default) forces per commit, the paper-faithful behaviour;
     #: commit latency grows by up to the window when enabled.
-    group_commit_window: float = 0.0
+    #: ``"auto"`` self-tunes: the WAL keeps an EWMA of commit-request
+    #: inter-arrival spacing and each leader picks its own window —
+    #: force immediately when arrivals are sparse (no latency tax at low
+    #: concurrency), batch up to ``group_commit_max_window`` under
+    #: bursts (keeping the forces-saved win). See DESIGN.md §9.
+    group_commit_window: Union[float, str] = 0.0
+    #: Auto mode: smallest window a batching leader will wait (floor so
+    #: a dense burst still collects followers arriving "now").
+    group_commit_min_window: float = 0.002
+    #: Auto mode: hard ceiling on the chosen window (the latency bound —
+    #: equal to the historical fixed window, so auto never waits longer
+    #: than the fixed configuration did).
+    group_commit_max_window: float = 0.05
+    #: Auto mode: EWMA smoothing factor for commit inter-arrival gaps.
+    group_commit_ewma_alpha: float = 0.25
+    #: Auto mode: window = clamp(factor * ewma_gap, min, max) — how many
+    #: expected arrivals a leader tries to cover.
+    group_commit_burst_factor: float = 4.0
+    #: Bound on ``Database._plan_cache`` entries (LRU eviction beyond it).
+    plan_cache_size: int = 512
     #: Instant, REDO-only restart (Sauer & Härder): analysis over the
     #: durable tail builds per-page replay chains; pages are replayed
     #: lazily on first touch (plus a background drain in DLFM) instead
@@ -115,5 +146,20 @@ class DBConfig:
             raise ValueError(f"unknown isolation level {self.isolation!r}")
         if self.rows_per_page < 1 or self.btree_order < 4:
             raise ValueError("degenerate storage geometry")
-        if self.group_commit_window < 0:
+        if isinstance(self.group_commit_window, str):
+            if self.group_commit_window != "auto":
+                raise ValueError(
+                    f"group_commit_window must be a number or 'auto', "
+                    f"got {self.group_commit_window!r}")
+        elif self.group_commit_window < 0:
             raise ValueError("group_commit_window must be >= 0")
+        if not (0 < self.group_commit_min_window
+                <= self.group_commit_max_window):
+            raise ValueError(
+                "need 0 < group_commit_min_window <= group_commit_max_window")
+        if not 0 < self.group_commit_ewma_alpha <= 1:
+            raise ValueError("group_commit_ewma_alpha must be in (0, 1]")
+        if self.group_commit_burst_factor <= 0:
+            raise ValueError("group_commit_burst_factor must be positive")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")

@@ -13,6 +13,7 @@ Owns every engine component and exposes:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -20,7 +21,7 @@ from repro.errors import (CatalogError, CrashedError, DatabaseError,
                           TransactionAborted)
 from repro.kernel.sim import Event, Simulator, Timeout
 from repro.minidb import wal as walmod
-from repro.minidb.btree import BTree
+from repro.minidb.btree import BTree, encode_key
 from repro.minidb.catalog import Catalog, ColumnDef
 from repro.minidb.config import DBConfig
 from repro.minidb.locks import LockManager
@@ -46,16 +47,53 @@ class DBMetrics:
     index_scans: int = 0
     plan_binds: int = 0
     plan_invalidations: int = 0
+    plan_evictions: int = 0
     recoveries: int = 0
     #: Instant recovery: pages whose pending log chain was replayed on
     #: demand (or by the background replayer), and records applied.
     pages_replayed: int = 0
     replay_records: int = 0
+    #: Bulk LOAD: index entries whose maintenance was deferred to the
+    #: end-of-load bottom-up build instead of per-row inserts.
+    bulk_entries_deferred: int = 0
 
     def note_abort(self, reason: str) -> None:
         self.rollbacks += 1
         self.aborts_by_reason[reason] = (
             self.aborts_by_reason.get(reason, 0) + 1)
+
+
+class _BulkIndexPending:
+    """Deferred index entries for one index during a bulk LOAD.
+
+    ``by_rid`` (rid → key values) makes undo of an aborted LOAD an O(1)
+    removal; ``keys`` (key values → count) backs unique pre-checks,
+    which become authoritative while the B-tree insert is deferred.
+    """
+
+    __slots__ = ("by_rid", "keys")
+
+    def __init__(self) -> None:
+        self.by_rid: dict = {}
+        self.keys: dict = {}
+
+    def add(self, rid, key) -> None:
+        self.by_rid[rid] = key
+        self.keys[key] = self.keys.get(key, 0) + 1
+
+    def drop(self, rid) -> bool:
+        key = self.by_rid.pop(rid, _ABSENT)
+        if key is _ABSENT:
+            return False
+        count = self.keys.get(key, 0) - 1
+        if count <= 0:
+            self.keys.pop(key, None)
+        else:
+            self.keys[key] = count
+        return True
+
+
+_ABSENT = object()
 
 
 class Database:
@@ -93,9 +131,18 @@ class Database:
         #: classic restart replays — and barely stalls on the instant path.
         self.traffic_open_at: float = 0.0
         self.executor = Executor(self)
-        self._plan_cache: dict[str, tuple] = {}
+        #: Bound-plan cache, LRU-ordered (oldest first); capped at
+        #: ``config.plan_cache_size``.
+        self._plan_cache: OrderedDict[str, tuple] = OrderedDict()
         #: In-flight group-commit force (Event) or None; volatile state.
         self._group_force: Optional[Event] = None
+        #: Active bulk LOADs: table → {index name → _BulkIndexPending}.
+        #: Volatile by design — a crash discards the deferral and restart
+        #: rebuilds indexes from durable state as usual.
+        self._bulk_loads: dict[str, dict[str, _BulkIndexPending]] = {}
+        #: Index-entry maintenance work not yet converted into simulated
+        #: time (drained by Session._charge_io, like pool.unbilled_io).
+        self.unbilled_index_entries: float = 0.0
         for table in self.catalog.tables.values():
             self.heaps[table.name] = Heap(table.name, self.pool)
         for index in self.catalog.indexes.values():
@@ -167,23 +214,49 @@ class Database:
             injector.maybe_crash(f"wal.force.after:{self.name}", self.name)
         txn.state = TxnState.PREPARED
 
+    def _commit_window(self) -> float:
+        """Window a new group-commit leader should wait, in seconds.
+
+        Fixed mode returns the configured constant. ``"auto"`` consults
+        the WAL's commit inter-arrival EWMA: when the expected gap is at
+        or beyond the max window, waiting would buy nothing — force
+        immediately (no latency tax at low concurrency). Under bursts,
+        wait long enough to cover about ``group_commit_burst_factor``
+        expected arrivals, clamped to [min_window, max_window].
+        """
+        cfg = self.config
+        if cfg.group_commit_window != "auto":
+            return float(cfg.group_commit_window)
+        gap = self.wal.commit_gap_ewma
+        if gap is None or gap >= cfg.group_commit_max_window:
+            return 0.0
+        return min(max(cfg.group_commit_burst_factor * gap,
+                       cfg.group_commit_min_window),
+                   cfg.group_commit_max_window)
+
     def _force_wal(self, txn: Transaction, record: str):
         """Generator: make the just-appended commit/prepare record durable.
 
-        With ``group_commit_window > 0``, committers arriving while a
-        force is pending share ONE physical force: the first becomes the
-        group leader, waits out the window, then forces to the log tail —
-        covering everyone who appended meanwhile; followers just wait
-        (``forces_saved``). Control never returns before the record is
-        durable, so an acknowledgement cannot precede the force: a crash
-        inside the window fails every member with CrashedError.
+        With a positive ``group_commit_window`` (or ``"auto"`` choosing
+        one), committers arriving while a force is pending share ONE
+        physical force: the first becomes the group leader, waits out
+        the window, then forces to the log tail — covering everyone who
+        appended meanwhile; followers just wait (``forces_saved``).
+        Control never returns before the record is durable, so an
+        acknowledgement cannot precede the force: a crash inside the
+        window fails every member with CrashedError.
         """
-        if self.config.group_commit_window <= 0:
+        cfg = self.config
+        auto = cfg.group_commit_window == "auto"
+        if auto:
+            self.wal.note_commit_request(self.sim.now,
+                                         cfg.group_commit_ewma_alpha)
+        elif cfg.group_commit_window <= 0:
             if self.wal.force():
                 with self.sim.tracer.span("wal.force", db=self.name,
                                           txn=txn.id, record=record,
                                           lsn=self.wal.flushed_upto):
-                    cost = self.config.timing.log_force_cost()
+                    cost = cfg.timing.log_force_cost()
                     if cost > 0:
                         yield Timeout(cost)
             return
@@ -191,23 +264,58 @@ class Database:
         while target > self.wal.flushed_upto:
             event = self._group_force
             if event is None:
+                window = self._commit_window()
+                if auto:
+                    self.wal.auto_windows.append(window)
+                if window <= 0:
+                    # Auto, sparse arrivals: nobody is expected within a
+                    # useful window, so pay our own force right away.
+                    self.wal.metrics.auto_immediate += 1
+                    if self.wal.force():
+                        with self.sim.tracer.span("wal.force", db=self.name,
+                                                  txn=txn.id, record=record,
+                                                  lsn=self.wal.flushed_upto):
+                            cost = cfg.timing.log_force_cost()
+                            if cost > 0:
+                                yield Timeout(cost)
+                    return
+                if auto:
+                    self.wal.metrics.auto_batched += 1
                 # Leader: open a group, collect committers for one window.
                 event = Event(self.sim, latch=True,
                               name=f"group-force-{self.name}")
                 self._group_force = event
-                yield Timeout(self.config.group_commit_window)
+                yield Timeout(window)
                 if self._group_force is not event:
                     # crash() failed the group while we slept
                     raise CrashedError(
                         f"database {self.name} crashed during group commit")
+                injector = self.sim.injector
+                if injector.enabled:
+                    # Crash between window expiry and the physical force:
+                    # the whole group's records sit in the unforced tail,
+                    # so crash() must fail every member (never-ack). Fires
+                    # while _group_force is still set so crash() can see
+                    # and fail the group.
+                    injector.maybe_crash(f"wal.group:leader:{self.name}",
+                                         self.name)
                 self._group_force = None
+                if txn.rollback_only:
+                    # Aborted while waiting (e.g. picked as a victim): a
+                    # dead transaction must not force its own commit
+                    # record. Wake the followers with a benign outcome so
+                    # one of them re-loops into leadership.
+                    event.trigger(None)
+                    raise TransactionAborted(
+                        f"txn {txn.id} aborted inside the group-commit "
+                        f"window", reason=txn.abort_reason or "error")
                 self.wal.metrics.group_commits += 1
                 if self.wal.force():
                     with self.sim.tracer.span("wal.force", db=self.name,
                                               txn=txn.id, record=record,
                                               lsn=self.wal.flushed_upto,
                                               group=True):
-                        cost = self.config.timing.log_force_cost()
+                        cost = cfg.timing.log_force_cost()
                         if cost > 0:
                             yield Timeout(cost)
                 event.trigger(None)
@@ -339,24 +447,105 @@ class Database:
     # ------------------------------------------------------------------ index maintenance
 
     def apply_index_insert(self, table, row: tuple, rid) -> None:
+        pending = self._bulk_loads.get(table.name)
         for index in self.catalog.indexes_by_table.get(table.name, []):
             key = tuple(row[table.position(c)] for c in index.columns)
-            self.btrees[index.name].insert(key, rid)
+            if pending is not None:
+                pending[index.name].add(rid, key)
+                self.metrics.bulk_entries_deferred += 1
+            else:
+                self.unbilled_index_entries += 1
+                self.btrees[index.name].insert(key, rid)
 
     def apply_index_delete(self, table, row: tuple, rid) -> None:
+        pending = self._bulk_loads.get(table.name)
         for index in self.catalog.indexes_by_table.get(table.name, []):
+            if pending is not None and pending[index.name].drop(rid):
+                continue  # entry was still deferred; undo is a dict pop
             key = tuple(row[table.position(c)] for c in index.columns)
+            self.unbilled_index_entries += 1
             self.btrees[index.name].delete(key, rid)
 
     def apply_index_update(self, table, old_row: tuple, new_row: tuple,
                            rid) -> None:
+        pending = self._bulk_loads.get(table.name)
         for index in self.catalog.indexes_by_table.get(table.name, []):
             old_key = tuple(old_row[table.position(c)] for c in index.columns)
             new_key = tuple(new_row[table.position(c)] for c in index.columns)
-            if old_key != new_key:
+            if old_key == new_key:
+                continue
+            if pending is not None:
+                p = pending[index.name]
+                if not p.drop(rid):
+                    self.unbilled_index_entries += 1
+                    self.btrees[index.name].delete(old_key, rid)
+                p.add(rid, new_key)
+                self.metrics.bulk_entries_deferred += 1
+            else:
+                self.unbilled_index_entries += 2
                 btree = self.btrees[index.name]
                 btree.delete(old_key, rid)
                 btree.insert(new_key, rid)
+
+    # ------------------------------------------------------------------ bulk LOAD
+
+    def in_bulk_load(self, table: str) -> bool:
+        return table in self._bulk_loads
+
+    def bulk_pending_duplicate(self, table: str, index_name: str,
+                               key: tuple) -> bool:
+        """Does a deferred entry already carry ``key``? (unique pre-check)"""
+        pending = self._bulk_loads.get(table)
+        if pending is None:
+            return False
+        p = pending.get(index_name)
+        return p is not None and key in p.keys
+
+    def begin_bulk_load(self, table: str) -> None:
+        """Defer per-row index maintenance for ``table`` (DB2 LOAD).
+
+        While active, ``apply_index_*`` records pending entries instead
+        of touching the B+trees, so index scans do not see the loaded
+        rows until :meth:`end_bulk_load` folds them in with one sorted
+        bottom-up build (DB2's "load pending" table state). Heap writes
+        and WAL records are unchanged, so aborts undo normally (the
+        deferred entry is dropped) and a crash simply discards the
+        volatile deferral — restart rebuilds indexes from durable state.
+        The loader is assumed to be the table's only writer (LOAD holds
+        the DLFM file locks), so next-key locks are skipped meanwhile.
+        """
+        self._ensure_up()
+        self.catalog.require_table(table)
+        self._bulk_loads.setdefault(table, {
+            index.name: _BulkIndexPending()
+            for index in self.catalog.indexes_by_table.get(table, [])})
+
+    def _merge_bulk_load(self, table: str) -> int:
+        """Fold a table's deferred entries into its B+trees; returns count."""
+        pending = self._bulk_loads.pop(table, None)
+        if pending is None:
+            return 0
+        merged = 0
+        for index_name, p in pending.items():
+            btree = self.btrees.get(index_name)
+            if btree is None or not p.by_rid:
+                continue
+            pairs = list(btree.items())
+            pairs.extend((encode_key(key), rid)
+                         for rid, key in p.by_rid.items())
+            btree.bulk_load(pairs)
+            merged += len(p.by_rid)
+        return merged
+
+    def end_bulk_load(self, table: str):
+        """Generator: merge deferred entries, charging the sequential
+        bottom-up build at ``bulk_index_factor`` of per-row cost."""
+        merged = self._merge_bulk_load(table)
+        cost = self.config.timing.index_entry_cost(
+            merged * self.config.timing.bulk_index_factor)
+        if cost > 0:
+            yield Timeout(cost)
+        return merged
 
     # ------------------------------------------------------------------ DDL
 
@@ -367,6 +556,7 @@ class Database:
             columns = [ColumnDef(n, t) for n, t in stmt.columns]
             self.catalog.create_table(stmt.table, columns)
             self.heaps[stmt.table] = Heap(stmt.table, self.pool)
+            touched = stmt.table
         elif isinstance(stmt, ast.CreateIndex):
             index = self.catalog.create_index(stmt.index, stmt.table,
                                               stmt.columns, stmt.unique)
@@ -377,6 +567,12 @@ class Database:
                 key = tuple(row[table.position(c)] for c in index.columns)
                 btree.insert(key, rid)
             self.btrees[index.name] = btree
+            if stmt.table in self._bulk_loads:
+                # Built from the heap, which already holds the loaded
+                # rows; only entries deferred from here on concern it.
+                self._bulk_loads[stmt.table][index.name] = (
+                    _BulkIndexPending())
+            touched = stmt.table
         elif isinstance(stmt, ast.DropTable):
             self.catalog.drop_table(stmt.table)
             self.heaps.pop(stmt.table, None)
@@ -386,18 +582,22 @@ class Database:
                 self.disk.drop_index_image(name)
             self.pool.drop_table(stmt.table)
             self.wal.forget_table(stmt.table)
+            self._bulk_loads.pop(stmt.table, None)
             for key in [k for k in self.replay_pending
                         if k[0] == stmt.table]:
                 del self.replay_pending[key]
+            touched = stmt.table
         elif isinstance(stmt, ast.DropIndex):
             index = self.catalog.require_index(stmt.index)
             self.catalog.indexes_by_table[index.table].remove(index)
             del self.catalog.indexes[stmt.index]
             del self.btrees[stmt.index]
             self.disk.drop_index_image(stmt.index)
+            self._bulk_loads.get(index.table, {}).pop(stmt.index, None)
+            touched = index.table
         else:
             raise CatalogError(f"not DDL: {stmt!r}")
-        self._invalidate_plans()
+        self._invalidate_plans(touched)
 
     # ------------------------------------------------------------------ plans
 
@@ -408,17 +608,36 @@ class Database:
             plan, versions = cached
             if all(self.catalog.stats_version(t) == v
                    for t, v in versions.items()):
+                self._plan_cache.move_to_end(sql)
                 return plan
             self.metrics.plan_invalidations += 1
         stmt = parse(sql)
         plan = plan_statement(self.catalog, stmt)
         versions = {t: self.catalog.stats_version(t) for t in plan.tables}
         self._plan_cache[sql] = (plan, versions)
+        self._plan_cache.move_to_end(sql)
+        while len(self._plan_cache) > self.config.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+            self.metrics.plan_evictions += 1
         self.metrics.plan_binds += 1
         return plan
 
-    def _invalidate_plans(self) -> None:
-        self._plan_cache.clear()
+    def _invalidate_plans(self, table: Optional[str] = None) -> None:
+        """Evict cached plans — all of them, or those touching ``table``.
+
+        DDL passes the affected table so that e.g. CREATE INDEX evicts
+        exactly the plans it could improve (an already-cached scan plan
+        would otherwise keep running without the new index), without
+        discarding every other statement's binding work.
+        """
+        if table is None:
+            self._plan_cache.clear()
+            return
+        stale = [sql for sql, (plan, _) in self._plan_cache.items()
+                 if table in plan.tables]
+        for sql in stale:
+            del self._plan_cache[sql]
+            self.metrics.plan_evictions += 1
 
     def explain(self, sql: str) -> dict:
         """Access-path summary for tests/benchmarks (not SQL EXPLAIN)."""
@@ -475,7 +694,17 @@ class Database:
         self._ensure_up()
         self.pool.flush_all()
         for name, btree in self.btrees.items():
-            self.disk.store_index_image(name, btree.items())
+            image = list(btree.items())
+            for pending in self._bulk_loads.values():
+                p = pending.get(name)
+                if p is not None and p.by_rid:
+                    # Deferred LOAD entries are durable heap rows whose
+                    # WAL records may predate this checkpoint: the image
+                    # must carry them or restart's image+tail repair
+                    # would silently lose them.
+                    image.extend((encode_key(key), rid)
+                                 for rid, key in p.by_rid.items())
+            self.disk.store_index_image(name, image)
         txn_table = {}
         for txn in self.txns.active:
             txn_table[txn.id] = {
@@ -506,6 +735,8 @@ class Database:
         self.btrees.clear()
         self.replay_pending.clear()
         self._plan_cache.clear()
+        self._bulk_loads.clear()
+        self.unbilled_index_entries = 0.0
 
     def restart(self) -> dict:
         """Restart after a crash; returns a recovery summary.

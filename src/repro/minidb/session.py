@@ -158,6 +158,9 @@ class Session:
     def _charge_io(self):
         pages = self.db.pool.metrics.drain_unbilled()
         cost = self.db.config.timing.io_cost(pages)
+        entries, self.db.unbilled_index_entries = (
+            self.db.unbilled_index_entries, 0.0)
+        cost += self.db.config.timing.index_entry_cost(entries)
         if cost > 0:
             yield Timeout(cost)
 

@@ -77,6 +77,10 @@ class WalMetrics:
     #: instead of paying their own.
     group_commits: int = 0
     forces_saved: int = 0
+    #: Auto window mode only: leaders that forced immediately because
+    #: arrivals were sparse, and leaders that chose to wait and batch.
+    auto_immediate: int = 0
+    auto_batched: int = 0
 
 
 class LogManager:
@@ -94,6 +98,14 @@ class LogManager:
         #: that page (the per-page chain head).
         self.page_heads: dict[tuple[str, int], int] = {}
         self.metrics = WalMetrics()
+        #: Adaptive group commit ("auto" window): EWMA of commit-request
+        #: inter-arrival gaps, fed by :meth:`note_commit_request`. Kept
+        #: here (not in WalMetrics) because the obs layer coerces every
+        #: WalMetrics field to an int counter.
+        self.commit_gap_ewma: Optional[float] = None
+        self.last_commit_request: Optional[float] = None
+        #: Windows chosen by auto-mode leaders, for the obs histogram.
+        self.auto_windows: list[float] = []
 
     @property
     def tail_lsn(self) -> int:
@@ -158,6 +170,22 @@ class LogManager:
 
     def record(self, lsn: int) -> LogRecord:
         return self.records[lsn - 1]
+
+    def note_commit_request(self, now: float, alpha: float) -> None:
+        """Feed one commit-request arrival into the inter-arrival EWMA.
+
+        Called by the database on every commit/prepare force request when
+        the group-commit window is ``"auto"``. The EWMA tracks the spacing
+        between requests; leaders consult it via the database's window
+        policy to decide between forcing immediately and batching.
+        """
+        if self.last_commit_request is not None:
+            gap = now - self.last_commit_request
+            if self.commit_gap_ewma is None:
+                self.commit_gap_ewma = gap
+            else:
+                self.commit_gap_ewma += alpha * (gap - self.commit_gap_ewma)
+        self.last_commit_request = now
 
     def window(self, active_floor: Optional[int]) -> int:
         """Current active-log size in records."""

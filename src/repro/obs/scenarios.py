@@ -123,10 +123,16 @@ def _import_counters(registry, system) -> None:
                                    dlfm.db.locks.metrics.snapshot())
         registry.register_counters(f"wal.{name}",
                                    dict(dlfm.db.wal.metrics.__dict__))
+        if dlfm.db.wal.auto_windows:
+            registry.histogram(f"wal.{name}.auto_window").extend(
+                dlfm.db.wal.auto_windows)
     registry.register_counters("locks.host",
                                system.host.db.locks.metrics.snapshot())
     registry.register_counters("wal.host",
                                dict(system.host.db.wal.metrics.__dict__))
+    if system.host.db.wal.auto_windows:
+        registry.histogram("wal.host.auto_window").extend(
+            system.host.db.wal.auto_windows)
     registry.register_counters("host", dict(system.host.metrics.__dict__))
 
 

@@ -310,7 +310,11 @@ class Executor:
         # next key (we hold the latter to commit too — a simplification
         # that only strengthens the paper's observed behaviour).
         indexes = self.db.catalog.indexes_by_table.get(table.name, [])
-        if self.db.config.next_key_locking:
+        bulk = self.db.in_bulk_load(table.name)
+        if self.db.config.next_key_locking and not bulk:
+            # Bulk LOAD skips key-value locks: deferred entries are not
+            # in the B-tree, so next-key resources are meaningless, and
+            # the loader is the table's only writer by contract.
             from repro.minidb.btree import encode_key
             for index in indexes:
                 key = self._index_key(table, index, row)
@@ -322,11 +326,15 @@ class Executor:
                     txn, ("key", table.name, index.name, next_key),
                     LockMode.X)
 
-        # Unique pre-check (authoritative check is the B-tree insert).
+        # Unique pre-check (authoritative check is the B-tree insert —
+        # except under bulk LOAD, where the insert is deferred and this
+        # check, extended over the deferred entries, decides).
         for index in indexes:
             if index.unique and not self._has_null_key(table, index, row):
                 key = self._index_key(table, index, row)
-                if self.db.btrees[index.name].search_eq(key):
+                if (self.db.btrees[index.name].search_eq(key)
+                        or self.db.bulk_pending_duplicate(
+                            table.name, index.name, key)):
                     raise DuplicateKeyError(
                         f"duplicate key {key!r} for unique index "
                         f"{index.name}")
@@ -418,7 +426,8 @@ class Executor:
     def _index_maintenance_locks(self, txn, table, old_row,
                                  new_row: Optional[tuple]):
         """Next-key X locks for delete/update index maintenance (E3)."""
-        if not self.db.config.next_key_locking:
+        if (not self.db.config.next_key_locking
+                or self.db.in_bulk_load(table.name)):
             return
         from repro.minidb.btree import encode_key
         for index in self.db.catalog.indexes_by_table.get(table.name, []):

@@ -243,3 +243,152 @@ def test_batched_crash_mid_load_then_resume(batched_system):
     assert dlfm.linked_count() == 200
     assert host_rows(system) == 200
     assert dlfm.db.table_rows("dfm_txn") == []
+
+
+# -- bulk index maintenance (HostConfig.bulk_load_indexes / bulk=) ------------
+
+def index_setup(system):
+    """Index the target table and give it stats so SELECTs bind to it."""
+    def go():
+        session = system.host.db.session()
+        yield from session.execute(
+            "CREATE INDEX assets_id ON assets (id)")
+        yield from session.execute(
+            "CREATE INDEX assets_doc ON assets (doc)")
+        yield from session.commit()
+    system.run(go())
+    system.host.db.set_table_stats(
+        "assets", card=1_000_000,
+        colcard={"id": 1_000_000, "doc": 1_000_000})
+
+
+def select_by_id(system, row_id):
+    def go():
+        session = system.host.db.session()
+        result = yield from session.execute(
+            "SELECT id, name FROM assets WHERE id = ?", (row_id,))
+        yield from session.commit()
+        return result.rows
+    return system.run(go())
+
+
+def test_bulk_load_equals_per_row_load(loader_system):
+    """bulk=True must land the exact same durable state as the per-row
+    path — rows, links, and (after the build) index contents."""
+    system = loader_system
+    index_setup(system)
+    host = system.host
+    load = LoadUtility(host, "assets", "doc", entries(200),
+                       piece_size=50, bulk=True)
+    stats = system.run(load.run())
+    assert stats.linked == 200
+    assert stats.rows_inserted == 200
+    assert stats.bulk_merged == 400        # 200 rows × 2 indexes
+    assert len(host.db.btrees["assets_id"]) == 200
+    assert len(host.db.btrees["assets_doc"]) == 200
+    assert not host.db.in_bulk_load("assets")
+    assert host_rows(system) == 200
+    assert select_by_id(system, 123) == [(123, "asset 123")]
+
+
+def test_bulk_defers_entries_between_pieces(loader_system):
+    system = loader_system
+    index_setup(system)
+    host = system.host
+    load = LoadUtility(host, "assets", "doc", entries(100),
+                       piece_size=40, bulk=True)
+
+    def partial():
+        host.db.begin_bulk_load("assets")    # what run() does up front
+        yield from load._load_piece()
+        yield from load._load_piece()
+
+    system.run(partial())
+    # 80 rows are committed in the heap but no index entry exists yet.
+    assert host_rows(system) == 80
+    assert len(host.db.btrees["assets_id"]) == 0
+    assert host.db.in_bulk_load("assets")
+
+    def finish():
+        yield from load._load_piece()
+        load.stats.bulk_merged = yield from host.db.end_bulk_load("assets")
+        yield from load._finish()
+
+    system.run(finish())
+    assert load.stats.bulk_merged == 200
+    assert len(host.db.btrees["assets_id"]) == 100
+    assert select_by_id(system, 99) == [(99, "asset 99")]
+
+
+def test_bulk_flag_defaults_from_host_config():
+    from repro.host import HostConfig
+    system = System(seed=31,
+                    host_config=HostConfig(bulk_load_indexes=True))
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "assets", [("id", "INT"), ("name", "TEXT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=False)})
+        for i in range(40):
+            system.create_user_file("fs1", f"/load/f{i:04d}", owner="ops")
+
+    system.run(setup())
+    index_setup(system)
+    load = LoadUtility(system.host, "assets", "doc", entries(40),
+                       piece_size=20)
+    assert load.bulk is True
+    stats = system.run(load.run())
+    assert stats.bulk_merged == 80
+    assert len(system.host.db.btrees["assets_id"]) == 40
+
+
+def test_bulk_load_failed_piece_still_merges_committed_rows(loader_system):
+    """A piece that dies mid-load must not leave the earlier committed
+    pieces index-invisible: the finally-path merge folds them in, and
+    the failed piece's own rows were undone (deferred entries dropped)."""
+    system = loader_system
+    index_setup(system)
+    host = system.host
+    bad = entries(80)
+    # Poison one row of the third piece with an unknown server.
+    bad[65] = (bad[65][0], "dlfs://nowhere/load/f0065")
+    load = LoadUtility(host, "assets", "doc", bad, piece_size=30,
+                       bulk=True)
+    with pytest.raises(Exception):
+        system.run(load.run())
+    # Pieces 1+2 (60 rows) are committed AND visible through the index.
+    assert host_rows(system) == 60
+    assert len(host.db.btrees["assets_id"]) == 60
+    assert not host.db.in_bulk_load("assets")
+    assert select_by_id(system, 42) == [(42, "asset 42")]
+    assert select_by_id(system, 65) == []
+
+
+def test_bulk_crash_mid_load_rebuilds_and_resumes(loader_system):
+    """Host crash mid-bulk-load: the volatile deferral dies with it,
+    restart rebuilds indexes from durable state (committed pieces show),
+    and resume() re-enters bulk mode and finishes the job."""
+    system = loader_system
+    index_setup(system)
+    host = system.host
+    load = LoadUtility(host, "assets", "doc", entries(100),
+                       piece_size=25, bulk=True)
+
+    def first_half():
+        host.db.begin_bulk_load("assets")    # what run() does up front
+        yield from load._load_piece()
+        yield from load._load_piece()
+
+    system.run(first_half())
+    assert len(host.db.btrees["assets_id"]) == 0
+    host.db.crash()
+    host.db.restart()
+    # The 50 committed rows came back index-visible via restart rebuild.
+    assert not host.db.in_bulk_load("assets")
+    assert len(host.db.btrees["assets_id"]) == 50
+
+    stats = system.run(load.resume())
+    assert stats.resumed is True
+    assert host_rows(system) == 100
+    assert len(host.db.btrees["assets_id"]) == 100
+    assert select_by_id(system, 77) == [(77, "asset 77")]

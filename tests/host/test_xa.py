@@ -46,13 +46,18 @@ def test_local_txn_id_differs_from_gtrid(xa_system):
     def go():
         session = xa_system.session()
         yield from start_branch(xa_system, session)
-        local_id = yield from xa_prepare(session, "gtrid-ABC-001")
-        yield from xa_commit(xa_system.host, "gtrid-ABC-001")
-        return local_id
+        prepared = yield from xa_prepare(session, "gtrid-ABC-001")
+        decision = yield from xa_commit(xa_system.host, "gtrid-ABC-001")
+        return prepared, decision
 
-    local_id = xa_system.run(go())
-    assert isinstance(local_id, int)       # the paper's point: an integer
-    assert local_id != "gtrid-ABC-001"     # distinct from the global id
+    prepared, decision = xa_system.run(go())
+    assert isinstance(prepared.txn_id, int)  # the paper's point: an integer
+    assert prepared.txn_id != "gtrid-ABC-001"  # distinct from the global id
+    assert prepared.vote == "commit"
+    assert prepared.readonly_servers == ()
+    assert decision["txn_id"] == prepared.txn_id
+    assert sorted(decision["servers"]) == ["fs1", "fs2"]
+    assert decision["readonly"] == ()
     assert xa_system.dlfms["fs1"].linked_count() == 1
     assert xa_system.dlfms["fs2"].linked_count() == 1
     assert count_rows(xa_system) == 2
@@ -80,14 +85,15 @@ def test_prepared_branch_survives_host_crash_as_indoubt(xa_system):
         yield from start_branch(xa_system, session)
         return (yield from xa_prepare(session, "g3"))
 
-    local_id = xa_system.run(phase1())
+    local_id = xa_system.run(phase1()).txn_id
     host.db.crash()
     summary = host.db.restart()
     assert summary["prepared"] == [local_id]
 
     def recover_and_commit():
         status = yield from xa_recover(host)
-        assert status == {"g3": "indoubt"}
+        assert status == {"g3": {"state": "indoubt", "txn_id": local_id,
+                                 "readonly": ()}}
         yield from xa_commit(host, "g3")
         return (yield from xa_recover(host))
 
@@ -132,8 +138,8 @@ def test_host_crash_after_commit_decision_redrives_phase2(xa_system):
     def phase1():
         session = xa_system.session()
         yield from start_branch(xa_system, session)
-        local_id = yield from xa_prepare(session, "g5")
-        txn = host.db.find_prepared(local_id)
+        prepared = yield from xa_prepare(session, "g5")
+        txn = host.db.find_prepared(prepared.txn_id)
         # local commit = durable decision; crash BEFORE phase 2
         yield from host.db.commit(txn)
 
@@ -143,7 +149,9 @@ def test_host_crash_after_commit_decision_redrives_phase2(xa_system):
 
     def recover():
         status = yield from xa_recover(host)
-        assert status == {"g5": "commit-pending"}
+        assert set(status) == {"g5"}
+        assert status["g5"]["state"] == "commit-pending"
+        assert status["g5"]["readonly"] == ()
         finished = yield from xa_finish_pending(host)
         return finished
 
@@ -177,6 +185,98 @@ def test_prepare_with_no_work_rejected(xa_system):
         return True
 
     assert xa_system.run(go()) is True
+
+
+def test_xa_readonly_branch_released_at_phase1(xa_system):
+    """Every participant votes read-only and the local txn wrote nothing:
+    the whole branch finishes at phase 1 (XA_RDONLY) — no PREPARE
+    record, no xa_pending rows, nothing for the TM to drive."""
+    from repro.dlfm import api
+    from repro.errors import LinkError
+    host = xa_system.host
+
+    def go():
+        session = xa_system.session()
+        # fs1 joins but its DLFM transaction writes nothing (the failed
+        # link leaves no state) and the host session never writes.
+        with pytest.raises(LinkError):
+            yield from session.dlfm_call("fs1", api.LinkFile(
+                host.dbid, session.txn_id_for("fs1"), "/g/missing",
+                host.group_ids[("gt", "doc")], "r-ro-1"))
+        return (yield from xa_prepare(session, "g-ro"))
+
+    result = xa_system.run(go())
+    assert result.vote == "read-only"
+    assert result.readonly_servers == ("fs1",)
+    assert host.metrics.readonly_branches == 1
+    assert host.db.table_rows("xa_pending") == []
+    assert host.db.indoubt_transactions() == []
+    assert xa_system.dlfms["fs1"].db.table_rows("dfm_txn") == []
+
+    def recover():
+        return (yield from xa_recover(host))
+
+    assert xa_system.run(recover()) == {}  # nothing survives to resolve
+
+    def commit_released():
+        with pytest.raises(DataLinkError):
+            yield from xa_commit(host, "g-ro")  # branch already finished
+        return True
+
+    assert xa_system.run(commit_released()) is True
+
+
+def test_xa_local_read_only_branch_releases_locks(xa_system):
+    """A SELECT-only branch votes read-only and its read locks drop at
+    phase 1, so a writer is not blocked behind a finished branch."""
+    host = xa_system.host
+
+    def go():
+        session = xa_system.session()
+        yield from session.execute("SELECT COUNT(*) FROM gt")
+        prepared = yield from xa_prepare(session, "g-local")
+        assert prepared.vote == "read-only"
+        # The branch is done: a writer must get the table immediately.
+        writer = host.db.session()
+        yield from writer.execute(
+            "INSERT INTO gt (id, doc, doc__recid) VALUES (?, ?, ?)",
+            (9, "plain", None))
+        yield from writer.commit()
+        return prepared
+
+    prepared = xa_system.run(go())
+    assert prepared.readonly_servers == ()
+    assert count_rows(xa_system) == 1
+
+
+def test_xa_mixed_readonly_participant_in_results(xa_system):
+    """fs1 writes, fs2 joins read-only: the branch votes commit but the
+    TM sees fs2 released at phase 1 in prepare/recover/commit results."""
+    from repro.errors import LinkError
+    host = xa_system.host
+
+    def go():
+        session = xa_system.session()
+        yield from start_branch(xa_system, session, ids=((1, "fs1", 0),))
+        with pytest.raises(LinkError):
+            yield from session.execute(
+                "INSERT INTO gt (id, doc) VALUES (?, ?)",
+                (2, build_url("fs2", "/g/missing")))
+        prepared = yield from xa_prepare(session, "g-mix")
+        status = yield from xa_recover(host)
+        decision = yield from xa_commit(host, "g-mix")
+        return prepared, status, decision
+
+    prepared, status, decision = xa_system.run(go())
+    assert prepared.vote == "commit"
+    assert prepared.readonly_servers == ("fs2",)
+    assert status["g-mix"]["state"] == "indoubt"
+    assert status["g-mix"]["readonly"] == ("fs2",)
+    assert decision["servers"] == ("fs1",)  # fs2 pruned from phase 2
+    assert decision["readonly"] == ("fs2",)
+    assert host.metrics.readonly_votes == 1
+    assert xa_system.dlfms["fs1"].linked_count() == 1
+    assert host.db.table_rows("xa_pending") == []
 
 
 def test_unknown_gtrid_rejected(xa_system):

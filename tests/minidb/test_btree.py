@@ -167,3 +167,69 @@ def test_property_next_key_matches_sorted_order(values):
     for a, b in zip(ordered, ordered[1:]):
         assert tree.next_key_after((a,)) == encode_key((b,))
     assert tree.next_key_after((ordered[-1],)) is INFINITY_KEY
+
+
+# ------------------------------------------------------------------- bulk load
+
+def test_bulk_load_empty_input():
+    tree = make()
+    tree.bulk_load([])
+    assert len(tree) == 0
+    assert tree.search_eq(("a",)) == []
+    tree.insert(("a",), (0, 0))          # the empty tree is still usable
+    assert tree.search_eq(("a",)) == [(0, 0)]
+
+
+def test_bulk_load_keeps_duplicates_on_non_unique():
+    tree = make(order=4)
+    pairs = [(encode_key(("a",)), (0, i)) for i in range(5)]
+    pairs += [(encode_key(("b",)), (1, 0))]
+    tree.bulk_load(pairs)
+    assert sorted(tree.search_eq(("a",))) == [(0, i) for i in range(5)]
+    assert tree.search_eq(("b",)) == [(1, 0)]
+    assert len(tree) == 6
+
+
+def test_bulk_load_sorts_out_of_order_input():
+    """The build SORTS its input rather than requiring pre-sorted pairs
+    (the chosen contract — callers hand it raw (key, rid) mixes); feed
+    it reversed input and assert full ordering."""
+    tree = make(order=4)
+    keys = [f"k{i:03d}" for i in range(100)]
+    pairs = [(encode_key((k,)), (i, 0)) for i, k in enumerate(keys)]
+    pairs.reverse()
+    tree.bulk_load(pairs)
+    scanned = [k for k, _ in tree.scan_range(None, True, None, True)]
+    assert scanned == sorted(encode_key((k,)) for k in keys)
+    assert tree.nlevels > 1
+
+
+def test_bulk_load_differential_against_per_row():
+    """10k random keys (with duplicates): the bottom-up build must be
+    observationally identical to per-row inserts."""
+    import random
+    rng = random.Random(7)
+    keys = [rng.randrange(100_000) for _ in range(10_000)]
+    per_row = make(order=64)
+    for i, k in enumerate(keys):
+        per_row.insert((k,), (i, 0))
+    bulk = make(order=64)
+    bulk.bulk_load([(encode_key((k,)), (i, 0))
+                    for i, k in enumerate(keys)])
+    assert len(bulk) == len(per_row) == 10_000
+    assert list(bulk.items()) == list(per_row.items())
+    for k in rng.sample(keys, 50):
+        assert sorted(bulk.search_eq((k,))) == sorted(
+            per_row.search_eq((k,)))
+    probe = rng.randrange(100_000)
+    assert bulk.next_key_after(encode_key((probe,))) == \
+        per_row.next_key_after(encode_key((probe,)))
+
+
+def test_bulk_load_replaces_prior_contents():
+    tree = make()
+    tree.insert(("old",), (9, 9))
+    tree.bulk_load([(encode_key(("new",)), (0, 0))])
+    assert tree.search_eq(("old",)) == []
+    assert tree.search_eq(("new",)) == [(0, 0)]
+    assert len(tree) == 1

@@ -202,3 +202,174 @@ def test_zero_window_is_the_classic_path():
     assert rows_zero == rows_win
     assert saved_zero == 0
     assert results[0.0][0][:4] == [(k, f"v{k}") for k in range(4)]
+
+
+# ----------------------------------------------------------------- auto window
+
+def test_auto_window_validation():
+    DBConfig(group_commit_window="auto").validate()
+    with pytest.raises(ValueError):
+        DBConfig(group_commit_window="adaptive").validate()
+    with pytest.raises(ValueError):
+        DBConfig(group_commit_window="auto",
+                 group_commit_min_window=0.1,
+                 group_commit_max_window=0.05).validate()
+    with pytest.raises(ValueError):
+        DBConfig(group_commit_window="auto",
+                 group_commit_ewma_alpha=0.0).validate()
+    with pytest.raises(ValueError):
+        DBConfig(group_commit_window="auto",
+                 group_commit_burst_factor=0.0).validate()
+
+
+def prime_ewma(db, keys=(0, 1)):
+    """Two back-to-back commits (virtual gap ≈ 0) pull the commit
+    inter-arrival EWMA to ~0, so the next leader opens a batching
+    window of ``group_commit_min_window``."""
+    for k in keys:
+        db.sim.run_process(committer(db, k))
+
+
+def test_auto_sparse_arrivals_force_immediately():
+    """Commits spaced beyond the max window must not pay any window at
+    all — the latency-tax half of the E1 trade-off."""
+    sim = Simulator()
+    db = make_db(sim, group_commit_window="auto")
+
+    def serial():
+        for k in range(4):
+            yield from committer(db, k, delay=1.0)
+
+    sim.run_process(serial())
+    metrics = db.wal.metrics
+    assert metrics.auto_immediate >= 3   # every post-EWMA commit forced now
+    assert metrics.auto_batched == 0
+    assert metrics.forces_saved == 0
+    assert metrics.group_commits == 0
+    # No window was ever opened: total time is just the four 1 s delays.
+    assert sim.now == pytest.approx(4.0)
+    assert set(db.wal.auto_windows) == {0.0}
+
+
+def test_auto_burst_batches_within_bounds():
+    """Dense arrivals: the EWMA collapses, leaders open windows inside
+    [min_window, max_window], and followers share the force."""
+    sim = Simulator()
+    db = make_db(sim, group_commit_window="auto")
+    prime_ewma(db)
+    forces_before = db.wal.metrics.forces
+
+    def root():
+        procs = [sim.spawn(committer(db, k), f"c{k}") for k in range(2, 8)]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    metrics = db.wal.metrics
+    assert metrics.auto_batched >= 1
+    assert metrics.forces_saved >= 5
+    assert metrics.forces - forces_before == 1   # one force for the burst
+    cfg = db.config
+    opened = [w for w in db.wal.auto_windows if w > 0]
+    assert opened
+    assert all(cfg.group_commit_min_window <= w
+               <= cfg.group_commit_max_window for w in opened)
+    assert all_rows(db)[2:8] == [(k, f"v{k}") for k in range(2, 8)]
+
+
+def test_auto_crash_inside_window_never_acks():
+    """The never-ack contract holds in auto mode: a crash while the
+    leader sleeps its self-chosen window fails every member, and restart
+    has no trace of their work."""
+    sim = Simulator()
+    db = make_db(sim, group_commit_window="auto")
+    prime_ewma(db)
+    outcomes = {}
+
+    def victim(k):
+        try:
+            yield from committer(db, k)
+            outcomes[k] = "acked"
+        except CrashedError:
+            outcomes[k] = "crashed"
+
+    def saboteur():
+        # Inside the min_window (0.002) the leader is sleeping out.
+        yield Timeout(0.001)
+        db.crash()
+
+    def root():
+        procs = [sim.spawn(victim(2), "v2"), sim.spawn(victim(3), "v3"),
+                 sim.spawn(saboteur(), "boom")]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    assert outcomes == {2: "crashed", 3: "crashed"}
+    db.restart()
+    rows = dict(all_rows(db))
+    assert rows[2] == "init" and rows[3] == "init"
+    assert rows[0] == "v0" and rows[1] == "v1"   # the acked ones survive
+
+
+def test_auto_leader_aborted_inside_window_hands_off():
+    """The leader re-check: a transaction aborted while sleeping its
+    window must NOT force (its commit is dead) — it wakes the followers
+    so one of them takes over leadership, and only their work commits."""
+    from repro.errors import TransactionAborted
+    sim = Simulator()
+    db = make_db(sim, group_commit_window="auto")
+    prime_ewma(db)
+    outcomes = {}
+    txns = {}
+
+    def leader():
+        session = db.session()
+        yield from session.execute(
+            "UPDATE t SET v = ? WHERE k = ?", ("doomed", 2))
+        txns["leader"] = session.txn
+        try:
+            yield from session.commit()
+            outcomes["leader"] = "acked"
+        except TransactionAborted:
+            outcomes["leader"] = "aborted"
+            yield from db.rollback(txns["leader"])
+
+    def follower():
+        yield Timeout(0.0005)        # join the leader's open window
+        yield from committer(db, 3)
+        outcomes["follower"] = "acked"
+
+    def saboteur():
+        yield Timeout(0.001)         # mid-window: mark the leader dead
+        txns["leader"].rollback_only = True
+        txns["leader"].abort_reason = "victim"
+
+    def root():
+        procs = [sim.spawn(leader(), "L"), sim.spawn(follower(), "F"),
+                 sim.spawn(saboteur(), "S")]
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    assert outcomes == {"leader": "aborted", "follower": "acked"}
+    rows = dict(all_rows(db))
+    assert rows[2] == "init"         # the dead leader's work is gone
+    assert rows[3] == "v3"           # the follower's commit survived
+
+
+def test_auto_matches_fixed_data_outcome():
+    """auto and a fixed window must produce identical data for the same
+    serial schedule — the tuning only moves forces around."""
+    results = {}
+    for window in ("auto", 0.02):
+        sim = Simulator()
+        db = make_db(sim, group_commit_window=window)
+
+        def serial():
+            for k in range(6):
+                yield from committer(db, k)
+
+        sim.run_process(serial())
+        results[window] = all_rows(db)
+    assert results["auto"] == results[0.02]
