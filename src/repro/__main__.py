@@ -162,6 +162,12 @@ def cmd_bench(args) -> int:
     print(f"  headline      fixed={headline_arm['fixed']['ops_per_sec']} "
           f"auto+bulk={headline_arm['adaptive']['ops_per_sec']} ops/s "
           f"(speedup {headline_arm['speedup']}x)")
+    sweep = doc["shard_sweep"]
+    counts = doc["config"]["shard_counts"]
+    lo, hi = str(min(counts)), str(max(counts))
+    print(f"  shards        {lo}={sweep[lo]['txns_per_sec']} txn/s "
+          f"{hi}={sweep[hi]['txns_per_sec']} txn/s "
+          f"(scaling {sweep['scaling']}x)")
     failures = check(doc)
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
@@ -204,14 +210,14 @@ def cmd_chaos(args) -> int:
                 return 2
         result = run_campaign(CampaignConfig(
             seed=args.seed, ops=args.ops, plan=plan,
-            corruptions=corruptions))
+            corruptions=corruptions, shards=args.shards))
 
     doc = result.repro_doc()
     if args.json:
         print(result.to_json())
     else:
         print(f"chaos campaign: seed={doc['seed']} ops={doc['ops']} "
-              f"plan={result.plan.name}")
+              f"shards={doc.get('shards', 0)} plan={result.plan.name}")
         print(f"  ops run       {len(doc['op_trace'])}")
         print(f"  rounds        {doc['rounds']} "
               f"({result.stuck_rounds} stuck)")
@@ -272,7 +278,7 @@ def main(argv=None) -> int:
 
     tr = sub.add_parser("trace", help="run a traced scenario and report")
     tr.add_argument("scenario", nargs="?", default="commit-retry",
-                    help="commit-retry (default) or workload")
+                    help="commit-retry (default), workload, or sharded")
     tr.add_argument("--seed", type=int, default=7)
     tr.add_argument("--json", metavar="PATH",
                     help="also dump the raw trace events as JSON")
@@ -299,6 +305,9 @@ def main(argv=None) -> int:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--ops", type=int, default=200,
                        help="workload operations to interleave with faults")
+    chaos.add_argument("--shards", type=int, default=0,
+                       help="run against a sharded fleet of N DLFM shards "
+                            "(0 = the classic single-server system)")
     chaos.add_argument("--plan", metavar="FILE",
                        help="FaultPlan JSON (default: built-in default plan)")
     chaos.add_argument("--replay", metavar="FILE",

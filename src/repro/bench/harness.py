@@ -17,6 +17,13 @@ trajectory in ``BENCH_PERF.json``:
   fixed window's forces-saved win where it matters;
 * a ≥10k-file LOAD with per-row index maintenance vs the deferred
   sorted bottom-up bulk build (DB2's LOAD build phase);
+* a shard sweep — the same per-client link workload over fleets of
+  1 through 32 DLFM shards (decision piggybacking + bounded fan-out
+  pool on), whose commit-throughput scaling from one shard to the
+  largest fleet ``--check`` gates at ≥ 2x: the shards keep the strict
+  RR/next-key local-DB defaults, under which one shard convoys every
+  link on its ``dfm_file`` index tail (the E3 pathology) while N
+  shards are N independent tails;
 * a headline mixed-workload arm — bursty link transactions racing a
   concurrent LOAD — run under fixed+cold and auto+bulk, whose
   sustained ``headline_ops_per_sec`` is gated by ``--check`` against
@@ -47,7 +54,7 @@ from repro.dlfm.config import DLFMConfig
 from repro.errors import TransactionAborted
 from repro.host import DatalinkSpec, HostConfig, build_url
 from repro.kernel.sim import Timeout
-from repro.minidb.config import TimingModel
+from repro.minidb.config import DBConfig, TimingModel
 from repro.system import System
 
 
@@ -108,6 +115,15 @@ class BenchConfig:
     #: calibration is untouched; these arms exist to expose the bulk
     #: build's win, so they charge the cost.
     load_index_entry: float = 0.002
+    #: Concurrent clients in the shard-sweep arm (each owns its own host
+    #: table, so its file group lands on ``grp_id % shards``).
+    shard_clients: int = 12
+    #: Commit transactions per shard-sweep client.
+    shard_txns: int = 3
+    #: Links per shard-sweep transaction.
+    shard_links: int = 4
+    #: Fleet sizes swept (the acceptance gate is quoted 1 → largest).
+    shard_counts: tuple = (1, 2, 4, 8, 16, 32)
     #: Clients in the headline mixed-workload arm.
     headline_clients: int = 24
     #: Link transactions per headline client.
@@ -123,7 +139,8 @@ class BenchConfig:
         """CI-scale: the bulk and daemon arms are already cheap (<1 s
         wall each), so keep them at full scale and shrink only the E1
         workload."""
-        return cls(seed=seed, e1_clients=6, e1_duration=60.0, quick=True)
+        return cls(seed=seed, e1_clients=6, e1_duration=60.0,
+                   shard_counts=(1, 4, 8), quick=True)
 
 
 #: arm name → (batch_datalinks, group_commit_window multiplier)
@@ -787,6 +804,116 @@ def run_multi_server(cfg: BenchConfig) -> dict:
     return out
 
 
+# --------------------------------------------------------------- shard sweep
+
+def run_shard_sweep_arm(cfg: BenchConfig, n_shards: int) -> dict:
+    """K clients, each linking into its OWN host table, over an N-shard
+    fleet with decision piggybacking and the bounded fan-out pool on.
+
+    The shards run their local DBs at the ENGINE DEFAULTS — RR with
+    next-key locking, the strict DB2 configuration the paper started
+    from. Under it every link INSERT X-locks the ``dfm_file`` index tail
+    to phase 2 (ARIES/KVL next-key), so one shard convoys the whole
+    fleet's link traffic and feeds the E3 deadlock storm; the paper's
+    single-node answer was weakening the config (``tuned()`` drops
+    next-key locking). Sharding is the scale-out answer that KEEPS the
+    strict config: N shards are N independent index tails, so groups
+    spread over them stop contending. Clients retry deadlock victims
+    with a linear backoff, as real DB2 applications do — throughput
+    counts each transaction once, when it finally commits."""
+    from repro.shard import ShardedSystem
+
+    timing = TimingModel.calibrated()
+    dlfm_config = DLFMConfig(local_db=DBConfig(timing=timing))
+    host_config = HostConfig(batch_datalinks=True, sync_commit=True,
+                             decision_piggyback=True, fanout_workers=8)
+    host_config.db.timing = timing
+    host_config.db.next_key_locking = False
+    host_config.db.isolation = "CS"
+    system = ShardedSystem(seed=cfg.seed, shards=n_shards,
+                           dlfm_config=dlfm_config,
+                           host_config=host_config)
+
+    def setup():
+        # One table (hence one file group) per client: host-side inserts
+        # hit distinct heaps, so the only convoy left is the shard's.
+        for cid in range(cfg.shard_clients):
+            yield from system.host.create_datalink_table(
+                f"sw{cid}", [("id", "INT"), ("doc", "TEXT")],
+                {"doc": DatalinkSpec(recovery=False)})
+
+    system.run(setup())
+    commit_latencies: list[float] = []
+    retries = [0]
+
+    def client(cid: int):
+        session = system.session()
+        for t in range(cfg.shard_txns):
+            for k in range(cfg.shard_links):
+                system.create_user_file(system.fs_name,
+                                        f"/sw/c{cid}/t{t}/k{k}",
+                                        owner=f"c{cid}")
+            attempt = 0
+            while True:
+                started = system.sim.now
+                try:
+                    for k in range(cfg.shard_links):
+                        path = f"/sw/c{cid}/t{t}/k{k}"
+                        yield from session.execute(
+                            f"INSERT INTO sw{cid} (id, doc) VALUES (?, ?)",
+                            (t * cfg.shard_links + k,
+                             build_url(system.fs_name, path)))
+                    yield from session.commit()
+                    commit_latencies.append(system.sim.now - started)
+                    break
+                except TransactionAborted:
+                    yield from session.rollback()
+                    retries[0] += 1
+                    attempt += 1
+                    yield Timeout(0.005 * attempt)
+        session.close()
+
+    begun = system.sim.now
+
+    def root():
+        procs = [system.sim.spawn(client(i), f"sw-client-{i}")
+                 for i in range(cfg.shard_clients)]
+        for proc in procs:
+            yield from proc.join()
+
+    system.run(root())
+    elapsed = system.sim.now - begun
+    txns = cfg.shard_clients * cfg.shard_txns
+    deadlocks = sum(d.db.locks.metrics.deadlocks
+                    for d in system.dlfms.values())
+    lock_waits = sum(d.db.locks.metrics.waits
+                     for d in system.dlfms.values())
+    return {
+        "shards": n_shards,
+        "txns": txns,
+        "txns_per_sec": round(txns / max(elapsed, 1e-9), 2),
+        "p50_commit_s": _percentile(commit_latencies, 50),
+        "p95_commit_s": _percentile(commit_latencies, 95),
+        "deadlocks": deadlocks,
+        "lock_waits": lock_waits,
+        "retries": retries[0],
+        "sim_seconds": round(elapsed, 6),
+    }
+
+
+def run_shard_sweep(cfg: BenchConfig) -> dict:
+    """Commit throughput across fleet sizes; scaling is quoted largest
+    over single-shard."""
+    out = {}
+    for n in cfg.shard_counts:
+        out[str(n)] = run_shard_sweep_arm(cfg, n)
+    lo = out[str(min(cfg.shard_counts))]
+    hi = out[str(max(cfg.shard_counts))]
+    out["scaling"] = round(
+        hi["txns_per_sec"] / max(lo["txns_per_sec"], 1e-9), 2)
+    return out
+
+
 # --------------------------------------------------------------------- sentinels
 
 def run_e6_sentinel(horizon: float = 300.0) -> dict:
@@ -947,7 +1074,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr7-adaptive-commit-path"
+HISTORY_LABEL = "pr8-sharded-fleet"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -979,6 +1106,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     }
     daemons = run_daemon_arms(cfg)
     multi_server = run_multi_server(cfg)
+    shard_sweep = run_shard_sweep(cfg)
     recovery = run_recovery(cfg)
     top = str(max(cfg.ms_server_counts))
     e1 = {"off": run_e1_arm(cfg, "off"),
@@ -989,11 +1117,13 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     headline_arm = run_headline(cfg)
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
+    top_shards = max(cfg.shard_counts)
     headline = (
-        f"adaptive commit path {headline_arm['headline_ops_per_sec']} "
-        f"ops/s sustained (auto window + bulk LOAD, "
-        f"{headline_arm['speedup']}x over fixed+cold); bulk LOAD "
-        f"{load['speedup']}x at {cfg.load_files} files; "
+        f"sharded fleet scales commit throughput {shard_sweep['scaling']}x "
+        f"from 1 to {top_shards} shards (decision piggybacking + pooled "
+        f"fan-out); adaptive commit path "
+        f"{headline_arm['headline_ops_per_sec']} ops/s sustained; bulk "
+        f"LOAD {load['speedup']}x at {cfg.load_files} files; "
         f"{burst['force_reduction']}x fewer WAL forces under a "
         f"{cfg.burst_clients}-client burst with auto")
     # The headline gate compares against THIS label's previous run (the
@@ -1010,6 +1140,9 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "archive_drain_speedup": daemons["archive_drain"]["speedup"],
         "restore_storm_speedup": daemons["restore_storm"]["speedup"],
         "multi_server_p95_speedup": multi_server[top]["p95_speedup"],
+        "shard_scaling": shard_sweep["scaling"],
+        "shard_top_txns_per_sec":
+            shard_sweep[str(top_shards)]["txns_per_sec"],
         "recovery_speedup": recovery["speedup"],
         "recovery_first_commit_instant_s":
             recovery["instant"]["first_commit_s"],
@@ -1040,6 +1173,10 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "ms_clients": cfg.ms_clients,
             "ms_txns": cfg.ms_txns,
             "ms_server_counts": list(cfg.ms_server_counts),
+            "shard_clients": cfg.shard_clients,
+            "shard_txns": cfg.shard_txns,
+            "shard_links": cfg.shard_links,
+            "shard_counts": list(cfg.shard_counts),
             "recovery_txns": cfg.recovery_txns,
             "recovery_checkpoint_frac": cfg.recovery_checkpoint_frac,
             "burst_clients": cfg.burst_clients,
@@ -1056,6 +1193,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "bulk": {"arms": arms, "ratios": ratios},
         "daemons": daemons,
         "multi_server": multi_server,
+        "shard_sweep": shard_sweep,
         "recovery": recovery,
         "e1": e1,
         "burst": burst,
@@ -1096,6 +1234,12 @@ def check(doc: dict) -> list[str]:
         failures.append(
             f"multi_server p95 commit speedup {four.get('p95_speedup')} "
             f"< 2.5x at 4 participants")
+    sweep = doc.get("shard_sweep", {})
+    if sweep and sweep.get("scaling", 0) < 2:
+        counts = doc.get("config", {}).get("shard_counts", [])
+        failures.append(
+            f"shard-sweep commit-throughput scaling {sweep.get('scaling')} "
+            f"< 2x from 1 to {max(counts) if counts else '?'} shards")
     recovery = doc.get("recovery", {})
     if recovery.get("speedup", 0) < 3:
         failures.append(

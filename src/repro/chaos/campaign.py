@@ -49,6 +49,11 @@ class CampaignConfig:
     plan: Optional[FaultPlan] = None          # None → default_plan(seed)
     servers: tuple = ("fs1", "fs2")
     round_ops: int = 25
+    #: 0 → the classic unsharded deployment (one DLFM per file server).
+    #: N > 0 → a :class:`~repro.shard.ShardedSystem` fleet of N shards
+    #: over one shared file server; the workload gains ``move_group``
+    #: ops and the checker enforces the shard-catalog invariants.
+    shards: int = 0
     #: Named seeded corruptions (keys of :data:`CORRUPTIONS`) applied
     #: right before the final invariant check. Unlike ``corrupt_hook``
     #: these are serialized into the repro document, so a deliberately
@@ -92,6 +97,7 @@ class CampaignResult:
             "rounds": self.rounds,
             "recoveries": self.recoveries,
             "corruptions": list(self.config.corruptions),
+            "shards": self.config.shards,
         }
 
     def to_json(self) -> str:
@@ -105,7 +111,8 @@ def config_from_doc(doc: dict) -> CampaignConfig:
         seed=doc["seed"], ops=doc["ops"],
         plan=FaultPlan.from_doc(doc["plan"]),
         servers=tuple(doc["servers"]), round_ops=doc["round_ops"],
-        corruptions=tuple(doc.get("corruptions", ())))
+        corruptions=tuple(doc.get("corruptions", ())),
+        shards=doc.get("shards", 0))
 
 
 def replay(doc: dict) -> CampaignResult:
@@ -184,9 +191,20 @@ class _Campaign:
         dlfm_config = DLFMConfig.tuned()
         dlfm_config.local_db = dlfm_config.local_db.with_changes(
             group_commit_window="auto", group_commit_max_window=2.0)
-        self.system = System(seed=config.seed, servers=config.servers,
-                             dlfm_config=dlfm_config,
-                             injector=self.injector)
+        self.sharded = config.shards > 0
+        if self.sharded:
+            from repro.shard import ShardedSystem
+            self.system = ShardedSystem(seed=config.seed,
+                                        shards=config.shards,
+                                        dlfm_config=dlfm_config,
+                                        injector=self.injector)
+        else:
+            self.system = System(seed=config.seed, servers=config.servers,
+                                 dlfm_config=dlfm_config,
+                                 injector=self.injector)
+        #: File-server names client files rotate over (the DLFM names in
+        #: the classic deployment, the one shared server when sharded).
+        self.file_servers = tuple(sorted(self.system.servers))
         self.rng = self.system.sim.stream("chaos:workload")
         self.result = CampaignResult(config, self.plan)
         self.rows: list = []        # (row_id, server, path) live media rows
@@ -326,6 +344,11 @@ class _Campaign:
             return "delete"
         if self.batch_tables and roll < 0.93:
             return "drop_table"
+        # The move draw exists only in sharded mode, carved out of the
+        # create_table tail so the unsharded kind sequence for a given
+        # seed is untouched.
+        if self.sharded and roll >= 0.96:
+            return "move_group"
         return "create_table"
 
     def _one_op(self, kind: str, session, record: dict):
@@ -337,13 +360,15 @@ class _Campaign:
             yield from self._op_delete(session, record)
         elif kind == "create_table":
             yield from self._op_create_table(session, record)
+        elif kind == "move_group":
+            yield from self._op_move_group(record)
         else:
             yield from self._op_drop_table(session, record)
 
     def _new_file(self) -> tuple:
         self._file_seq += 1
-        server = self.config.servers[self._file_seq
-                                     % len(self.config.servers)]
+        server = self.file_servers[self._file_seq
+                                   % len(self.file_servers)]
         path = f"/data/chaos-{self._file_seq:07d}.obj"
         # fs.create faults surface here, synchronously, as a failed op.
         self.system.create_user_file(server, path, owner="chaos",
@@ -404,6 +429,23 @@ class _Campaign:
         yield from session.commit()
         self.batch_tables.remove(name)
 
+    def _op_move_group(self, record: dict):
+        """Sharded mode only: rebalance a random group to a random shard
+        (its own 2PC transaction on a dedicated session). Refusals
+        (pending work on the group) and mid-move crashes surface like
+        any other failed op; the invariant checker proves no outcome
+        strands the group."""
+        from repro.shard import move_group
+        host = self.system.host
+        groups = sorted(host.group_ids.values())
+        grp_id = groups[self.rng.randrange(len(groups))]
+        shards = sorted(self.system.dlfms)
+        dst = shards[self.rng.randrange(len(shards))]
+        record["target"] = f"grp{grp_id}->{dst}"
+        result = yield from move_group(host, grp_id, dst)
+        if not result["moved"]:
+            record["outcome"] = "noop"
+
     # ------------------------------------------------------------------ recovery
 
     def _recover(self) -> None:
@@ -457,7 +499,8 @@ class _Campaign:
     def _host_has_decisions(self) -> bool:
         host = self.system.host
         return (not host.db.crashed
-                and bool(host.db.table_rows("dlk_indoubt")))
+                and bool(host.db.table_rows("dlk_indoubt")
+                         or host.pending_decisions()))
 
     def _has_committed_txns(self, dlfm) -> bool:
         if dlfm.db.crashed:
@@ -479,6 +522,8 @@ class _Campaign:
             return "host down"
         if host.db.table_rows("dlk_indoubt"):
             return "dlk_indoubt rows"
+        if host.pending_decisions():
+            return "piggybacked decisions pending"
         if any(t for t in host.db.txns.active):
             return "active host transactions"
         for name in sorted(self.system.dlfms):
@@ -498,6 +543,10 @@ class _Campaign:
             if any(r[gstate] == schema.GRP_DELETED
                    for r in dlfm.db.table_rows("dfm_group")):
                 return f"{name}: deleted groups pending"
+            if any(r[gstate] in (schema.GRP_MOVING_OUT,
+                                 schema.GRP_MOVING_IN)
+                   for r in dlfm.db.table_rows("dfm_group")):
+                return f"{name}: moving groups unresolved"
             if any(t for t in dlfm.db.txns.active):
                 return f"{name}: active transactions"
         return None

@@ -51,6 +51,17 @@ point                      kinds                     wired into
                                                      not yet gathered;
                                                      crash node is the
                                                      host database
+``shard.move:<step>``      crash                     online rebalancing
+                                                     (repro.shard): after
+                                                     ``exported`` (source
+                                                     marked moving-out),
+                                                     ``imported`` (both
+                                                     sides staged) and
+                                                     ``mapped`` (catalog
+                                                     row flipped, decision
+                                                     not yet durable);
+                                                     crash node is the
+                                                     host database
 ========================== ========================= =====================
 
 Determinism: every probabilistic decision draws from a per-rule RNG
@@ -356,4 +367,11 @@ def default_plan(seed: int = 0) -> FaultPlan:
         FaultRule("twopc.fanout:phase2", "delay", prob=0.05,
                   max_fires=None, delay=0.25),
         FaultRule("twopc.fanout:phase2", "crash", prob=0.01, max_fires=1),
+        # Rebalance crash points (sharded campaigns only — the points
+        # are never reached unsharded, so the rule's RNG stream is never
+        # created and existing seeds keep their schedules byte-for-byte).
+        # A crash mid-move must never strand a group: before the
+        # decision is durable presumed abort restores the source, after
+        # it the in-doubt re-drive finishes the flip.
+        FaultRule("shard.move:*", "crash", prob=0.25, max_fires=2),
     ])

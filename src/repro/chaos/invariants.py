@@ -31,7 +31,20 @@ Violation codes (also documented in DESIGN.md §10):
 ``missing-archive-copy``    archived=1 entry with no archive copy
 ``leaked-txn``              active (never-prepared) transaction after quiesce
 ``leaked-locks``            lock table non-empty with no transactions
+``unresolved-moving-group`` group still moving-out/moving-in after quiesce
+``ambiguous-group-ownership`` sharded: group active on several shards, on the
+                            wrong shard, or at an epoch the catalog disagrees
+                            with
+``unrouted-group``          sharded: catalog row with no active group behind
+                            it, or an active group no catalog row routes to
 ==========================  ====================================================
+
+Decision bookkeeping (``stale-decision-row``, ``orphan-indoubt-txn``)
+covers BOTH decision stores: classic ``dlk_indoubt`` rows and decisions
+piggybacked on the host's COMMIT records (``host.decision_rows()`` is
+their union). Shards of a sharded fleet share one file server, so the
+host-ref ↔ linked-entry and write-protection cross-checks run per file
+server against the union of its DLFMs' metadata.
 """
 
 from __future__ import annotations
@@ -76,8 +89,11 @@ def check_invariants(system) -> list["Violation"]:
         if name in downs or system.host.db.crashed:
             continue  # can't cross-check against a crashed side
         _check_dlfm(system, name, host_refs, out)
+    _check_fs_crosslinks(system, downs, host_refs, out)
     if not system.host.db.crashed:
         _check_host(system, downs, out)
+        if getattr(system.host, "shard_map", None) is not None:
+            _check_shard_catalog(system, downs, out)
     return out
 
 
@@ -132,12 +148,12 @@ def _collect_host_refs(system, out: list):
 
 def _check_host(system, downs: set, out: list) -> None:
     host = system.host
-    # Presumed abort bookkeeping: a decision row survives quiesce only if
-    # phase 2 never finished — but then the DLFM must still hold a
-    # prepared transaction for it (else the row is garbage that will
+    # Presumed abort bookkeeping: a decision (dlk_indoubt row or
+    # piggybacked COMMIT-payload entry) survives quiesce only if phase 2
+    # never finished — but then the DLFM must still hold a prepared
+    # transaction for it (else the decision is garbage that will
     # re-drive phase 2 forever).
-    for row in _rows(host.db, "dlk_indoubt"):
-        txn_id, server = row["txn_id"], row["server"]
+    for txn_id, server in sorted(host.decision_rows()):
         dlfm = system.dlfms.get(server)
         if dlfm is None or server in downs:
             continue
@@ -147,7 +163,7 @@ def _check_host(system, downs: set, out: list) -> None:
         if not prepared:
             out.append(Violation(
                 "stale-decision-row", "host",
-                f"dlk_indoubt({txn_id}, {server}) but {server} has no "
+                f"decision ({txn_id}, {server}) but {server} has no "
                 f"prepared txn {txn_id}"))
     _check_engine_residue(host.db, "host", out)
 
@@ -162,11 +178,9 @@ def _check_dlfm(system, name: str, host_refs, out: list) -> None:
     groups = {r["grp_id"]: r for r in _rows(dlfm.db, "dfm_group")
               if r["dbid"] == host.dbid}
 
-    linked_paths = set()
     for row in files:
         path, state = row["filename"], row["state"]
         if state == schema.ST_LINKED:
-            linked_paths.add(path)
             _check_linked_file(system, name, fs, row, groups, host_refs, out)
         elif state == schema.ST_UNLINKING:
             out.append(Violation(
@@ -174,38 +188,11 @@ def _check_dlfm(system, name: str, host_refs, out: list) -> None:
                 f"{path} still ST_UNLINKING (txn {row['unlink_txn']}) "
                 f"after quiesce"))
         if (row["archived"] and not system.archive.has_copy(
-                name, path, row["recovery_id"])):
+                dlfm.server.name, path, row["recovery_id"])):
             out.append(Violation(
                 "missing-archive-copy", name,
                 f"{path}@{row['recovery_id']} marked archived but the "
                 f"archive has no copy"))
-
-    # Host refs pointing here must have a linked entry behind them.
-    if host_refs is not None:
-        for (server, path), (recid, table, column) in sorted(
-                host_refs.items()):
-            if server != name:
-                continue
-            match = [r for r in files if r["filename"] == path
-                     and r["state"] == schema.ST_LINKED]
-            if not match:
-                out.append(Violation(
-                    "dangling-host-ref", name,
-                    f"{table}.{column} -> {path} has no ST_LINKED entry"))
-            elif recid is not None and all(
-                    r["recovery_id"] != recid for r in match):
-                out.append(Violation(
-                    "dangling-host-ref", name,
-                    f"{table}.{column} -> {path} recovery id {recid} "
-                    f"matches no ST_LINKED entry"))
-
-    # Takeover bits with no linked entry = protection leaked by a
-    # half-done unlink (the release never ran and never will).
-    for path, node in sorted(fs._files.items()):
-        if node.owner == DLFM_ADMIN and path not in linked_paths:
-            out.append(Violation(
-                "stale-write-protection", name,
-                f"{path} owned by {DLFM_ADMIN} with no ST_LINKED entry"))
 
     _check_dlfm_txns(system, name, dlfm, out)
     for row in sorted(groups.values(), key=lambda r: r["grp_id"]):
@@ -214,6 +201,12 @@ def _check_dlfm(system, name: str, host_refs, out: list) -> None:
                 "unresolved-deleted-group", name,
                 f"group {row['grp_id']} ({row['table_name']}."
                 f"{row['column_name']}) still 'deleted' after quiesce"))
+        elif row["state"] in (schema.GRP_MOVING_OUT, schema.GRP_MOVING_IN):
+            out.append(Violation(
+                "unresolved-moving-group", name,
+                f"group {row['grp_id']} ({row['table_name']}."
+                f"{row['column_name']}) still {row['state']!r} after "
+                f"quiesce"))
     for row in _rows(dlfm.db, "dfm_archive"):
         out.append(Violation(
             "unarchived-pending", name,
@@ -248,7 +241,8 @@ def _check_linked_file(system, name, fs, row, groups, host_refs, out) -> None:
             "linked-in-dead-group", name,
             f"{path} is ST_LINKED in group {row['grp_id']} ({state})"))
         return  # a dead group has no host rows to cross-check against
-    if host_refs is not None and (name, path) not in host_refs:
+    fs_name = system.dlfms[name].server.name
+    if host_refs is not None and (fs_name, path) not in host_refs:
         out.append(Violation(
             "orphan-linked-entry", name,
             f"{path} is ST_LINKED (group {row['grp_id']}, "
@@ -260,8 +254,8 @@ def _check_dlfm_txns(system, name, dlfm, out) -> None:
     host = system.host
     decisions = set()
     if not host.db.crashed:
-        decisions = {r["txn_id"] for r in _rows(host.db, "dlk_indoubt")
-                     if r["server"] == name}
+        decisions = {txn_id for txn_id, server in host.decision_rows()
+                     if server == name}
     for row in _rows(dlfm.db, "dfm_txn"):
         txn_id, state = row["txn_id"], row["state"]
         if state == schema.TXN_PREPARED:
@@ -274,6 +268,106 @@ def _check_dlfm_txns(system, name, dlfm, out) -> None:
             out.append(Violation(
                 "unfinished-commit-work", name,
                 f"txn {txn_id} still {state!r} after quiesce"))
+
+
+# ---------------------------------------------------------------- file-server side
+
+def _check_fs_crosslinks(system, downs: set, host_refs, out: list) -> None:
+    """Per-FILE-SERVER cross-checks: host refs must have an ST_LINKED
+    entry behind them, and takeover ownership must be backed by one.
+
+    These run against the union of all DLFMs mounted on a server: in a
+    sharded fleet every shard shares one file server and any shard may
+    own the entry, so judging a single shard's table would cry wolf.
+    """
+    if host_refs is None:
+        return
+    fleets: dict[str, list] = {}
+    for name, dlfm in sorted(system.dlfms.items()):
+        fleets.setdefault(dlfm.server.name, []).append(name)
+    for fs_name, members in sorted(fleets.items()):
+        if any(m in downs for m in members):
+            continue  # partial view of the linked set: skip this server
+        fs = system.dlfms[members[0]].server.fs
+        linked: dict[str, list] = {}
+        for member in members:
+            for row in _rows(system.dlfms[member].db, "dfm_file"):
+                if row["state"] == schema.ST_LINKED:
+                    linked.setdefault(row["filename"], []).append(row)
+        for (server, path), (recid, table, column) in sorted(
+                host_refs.items()):
+            if server != fs_name:
+                continue
+            match = linked.get(path, [])
+            if not match:
+                out.append(Violation(
+                    "dangling-host-ref", fs_name,
+                    f"{table}.{column} -> {path} has no ST_LINKED entry"))
+            elif recid is not None and all(
+                    r["recovery_id"] != recid for r in match):
+                out.append(Violation(
+                    "dangling-host-ref", fs_name,
+                    f"{table}.{column} -> {path} recovery id {recid} "
+                    f"matches no ST_LINKED entry"))
+        # Takeover bits with no linked entry = protection leaked by a
+        # half-done unlink (the release never ran and never will).
+        for path, node in sorted(fs._files.items()):
+            if node.owner == DLFM_ADMIN and path not in linked:
+                out.append(Violation(
+                    "stale-write-protection", fs_name,
+                    f"{path} owned by {DLFM_ADMIN} with no ST_LINKED "
+                    f"entry"))
+
+
+# ---------------------------------------------------------------- shard catalog
+
+def _check_shard_catalog(system, downs: set, out: list) -> None:
+    """Sharded fleet: every group has exactly one active owner and the
+    durable ``dlk_shardmap`` catalog routes to it at the same epoch."""
+    if downs:
+        return  # a down shard hides ownership; node-down already reported
+    host = system.host
+    catalog = {r["grp_id"]: (r["shard"], r["epoch"])
+               for r in _rows(host.db, "dlk_shardmap")}
+    owners: dict[int, list] = {}
+    for name in sorted(system.dlfms):
+        for row in _rows(system.dlfms[name].db, "dfm_group"):
+            if row["dbid"] != host.dbid:
+                continue
+            if row["state"] not in (schema.GRP_ACTIVE, schema.GRP_MOVING_OUT,
+                                    schema.GRP_MOVING_IN):
+                continue  # deleted/emptied: dropped group awaiting GC
+            owners.setdefault(row["grp_id"], []).append(
+                (name, row["state"], row["epoch"]))
+    for grp_id, (shard, epoch) in sorted(catalog.items()):
+        entries = owners.get(grp_id, [])
+        if any(s in (schema.GRP_MOVING_OUT, schema.GRP_MOVING_IN)
+               for _, s, _ in entries):
+            continue  # already reported as unresolved-moving-group
+        active = [(n, e) for n, s, e in entries if s == schema.GRP_ACTIVE]
+        if not active:
+            out.append(Violation(
+                "unrouted-group", "host",
+                f"catalog routes group {grp_id} to {shard} (epoch "
+                f"{epoch}) but no shard has it active"))
+        elif len(active) > 1:
+            out.append(Violation(
+                "ambiguous-group-ownership", "host",
+                f"group {grp_id} active on "
+                f"{', '.join(n for n, _ in active)}"))
+        else:
+            (owner, gepoch), = active
+            if owner != shard or gepoch != epoch:
+                out.append(Violation(
+                    "ambiguous-group-ownership", "host",
+                    f"catalog routes group {grp_id} to {shard}@{epoch} "
+                    f"but it is active on {owner}@{gepoch}"))
+    for grp_id in sorted(set(owners) - set(catalog)):
+        names = ", ".join(n for n, _, _ in owners[grp_id])
+        out.append(Violation(
+            "unrouted-group", "host",
+            f"group {grp_id} lives on {names} but no catalog row "
+            f"routes to it"))
 
 
 # ---------------------------------------------------------------- engine residue

@@ -68,7 +68,8 @@ class ChildAgent:
         if isinstance(req, api.Batch):
             return (yield from self._batch(req))
         if isinstance(req, (api.LinkFile, api.UnlinkFile, api.RegisterGroup,
-                            api.DeleteGroup)):
+                            api.DeleteGroup, api.ExportGroup,
+                            api.ImportGroup)):
             return (yield from self._forward(req))
         if isinstance(req, api.CommitPiece):
             self._check_txn(req)
@@ -126,6 +127,12 @@ class ChildAgent:
             elif isinstance(req, api.RegisterGroup):
                 result = yield from self.dlfm.op_register_group(self.session,
                                                                 req)
+            elif isinstance(req, api.ExportGroup):
+                result = yield from self.dlfm.op_export_group(self.session,
+                                                              req)
+            elif isinstance(req, api.ImportGroup):
+                result = yield from self.dlfm.op_import_group(self.session,
+                                                              req)
             else:
                 result = yield from self.dlfm.op_delete_group(self.session,
                                                               req)

@@ -32,6 +32,10 @@ class LinkFile:
     #: Set for compensation during host statement/savepoint rollback: a
     #: LinkFile with in_backout undoes a previous UnlinkFile (§3.2).
     in_backout: bool = False
+    #: Shard-route fencing (repro.shard): >0 means the host resolved this
+    #: op through its shard-map cache at this epoch; the shard rejects
+    #: the op with StaleRouteError when its own group epoch disagrees.
+    route_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -41,6 +45,8 @@ class UnlinkFile:
     path: str
     recovery_id: str
     in_backout: bool = False
+    grp_id: int = 0               # set by sharded hosts for route fencing
+    route_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,9 @@ class RegisterGroup:
     grp_id: int
     table_name: str
     column_name: str
+    #: Initial shard-map epoch (sharded fleets register at epoch 1;
+    #: unsharded groups stay at 0 = unfenced).
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -60,6 +69,7 @@ class DeleteGroup:
     txn_id: int
     grp_id: int
     in_backout: bool = False
+    route_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,37 @@ class Abort:
 class ListIndoubt:
     """Host restart / indoubt-resolver poll: which txns are prepared here?"""
     dbid: str
+
+
+@dataclass(frozen=True)
+class ExportGroup:
+    """Rebalance step 1 (source shard): snapshot a group's metadata.
+
+    Locks the ``dfm_group`` row, marks it *moving-out* under the move
+    transaction (delayed-update: phase-2 commit deletes the rows with no
+    file-system side effects, abort restores ``active``), and returns
+    the group row plus every ``dfm_file`` row verbatim.
+    """
+    dbid: str
+    txn_id: int
+    grp_id: int
+
+
+@dataclass(frozen=True)
+class ImportGroup:
+    """Rebalance step 2 (destination shard): adopt exported metadata.
+
+    Inserts the group row in state *moving-in* at the bumped epoch plus
+    the file rows verbatim (original link/unlink txn markers preserved —
+    phase-2 commit must not re-run chown takeover on adopted files).
+    Commit flips the group ``active``; abort deletes everything imported.
+    """
+    dbid: str
+    txn_id: int
+    grp_id: int
+    group_row: tuple   # exported dfm_group row
+    file_rows: tuple   # exported dfm_file rows, verbatim
+    epoch: int         # new shard-map epoch after the move
 
 
 @dataclass(frozen=True)

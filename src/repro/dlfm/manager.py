@@ -32,8 +32,9 @@ from repro.dlfm.daemons.delete_group import DeleteGroupDaemon
 from repro.dlfm.daemons.gc import GarbageCollector
 from repro.dlfm.daemons.retrieved import RetrieveDaemon
 from repro.dlfm.daemons.upcall import UpcallDaemon
-from repro.errors import (RETRIABLE_FAULTS, LinkError, TransactionAborted,
-                          TwoPCProtocolError, UnlinkError)
+from repro.errors import (RETRIABLE_FAULTS, LinkError, StaleRouteError,
+                          TransactionAborted, TwoPCProtocolError,
+                          UnlinkError)
 from repro.fs.filesystem import FileServer
 from repro.kernel.backoff import Backoff
 from repro.kernel.pool import WorkerPool
@@ -265,6 +266,27 @@ class DLFM:
         if cost > 0:
             yield Timeout(cost)
 
+    def _check_route(self, group, grp_id: int, route_epoch: int) -> None:
+        """Fence a routed op against this shard's view of the group.
+
+        ``group`` is a ``(state, epoch)`` row or ``None``. The op is
+        stale — the host should reload its shard map and retry — when
+        the group is not here, its epoch disagrees with the route's, or
+        a rebalance is mid-flight (moving states resolve to a fresh
+        epoch once the move transaction finishes phase 2).
+        """
+        if group is None:
+            raise StaleRouteError(
+                f"group {grp_id} is not on shard {self.name}")
+        state, epoch = group[0], group[1] or 0
+        if state in (schema.GRP_MOVING_OUT, schema.GRP_MOVING_IN):
+            raise StaleRouteError(
+                f"group {grp_id} is rebalancing ({state}) on {self.name}")
+        if epoch != route_epoch:
+            raise StaleRouteError(
+                f"group {grp_id} route epoch {route_epoch} != shard "
+                f"epoch {epoch} on {self.name}")
+
     def op_link_file(self, session, req: api.LinkFile):
         """Generator: LinkFile forward processing (paper §3.2)."""
         if req.in_backout:
@@ -291,10 +313,15 @@ class DLFM:
             self.metrics.link_errors += 1
             raise LinkError(
                 f"{req.path} does not exist on server {self.name}") from None
-        # Check 2: the file group must exist and be active.
+        # Check 2: the file group must exist and be active. A routed op
+        # (route_epoch > 0) is fenced against the shard map: a missing,
+        # moving, or epoch-mismatched group means the host's cached route
+        # is stale — retryable, unlike a genuinely deleted group.
         group = yield from session.query_one(
-            "SELECT state FROM dfm_group WHERE grp_id = ? AND dbid = ?",
-            (req.grp_id, req.dbid))
+            "SELECT state, epoch FROM dfm_group WHERE grp_id = ? AND "
+            "dbid = ?", (req.grp_id, req.dbid))
+        if req.route_epoch:
+            self._check_route(group, req.grp_id, req.route_epoch)
         if group is None or group[0] != schema.GRP_ACTIVE:
             raise LinkError(f"file group {req.grp_id} missing or deleted")
         # Same-transaction unlink+relink: the file is still under database
@@ -353,6 +380,14 @@ class DLFM:
                     f"for {req.path}")
             return {"restored": True}
 
+        if req.route_epoch:
+            # Sharded host: fence against the shard map before touching
+            # the entry, so a stale route retries instead of reporting
+            # "not linked" for a file whose group moved elsewhere.
+            group = yield from session.query_one(
+                "SELECT state, epoch FROM dfm_group WHERE grp_id = ? AND "
+                "dbid = ?", (req.grp_id, req.dbid))
+            self._check_route(group, req.grp_id, req.route_epoch)
         entry = yield from session.query_one(
             "SELECT state FROM dfm_file WHERE filename = ? AND "
             "check_flag = ? AND dbid = ? FOR UPDATE",
@@ -374,10 +409,10 @@ class DLFM:
     def op_register_group(self, session, req: api.RegisterGroup):
         yield from session.execute(
             "INSERT INTO dfm_group (grp_id, dbid, table_name, column_name, "
-            "state, delete_txn, delete_time, expires_at) "
-            "VALUES (?, ?, ?, ?, ?, NULL, NULL, NULL)",
+            "state, delete_txn, delete_time, expires_at, epoch) "
+            "VALUES (?, ?, ?, ?, ?, NULL, NULL, NULL, ?)",
             (req.grp_id, req.dbid, req.table_name, req.column_name,
-             schema.GRP_ACTIVE))
+             schema.GRP_ACTIVE, req.epoch))
         self.metrics.groups_registered += 1
         return {"registered": True}
 
@@ -390,6 +425,11 @@ class DLFM:
                 "WHERE grp_id = ? AND delete_txn = ? AND dbid = ?",
                 (schema.GRP_ACTIVE, req.grp_id, req.txn_id, req.dbid))
             return {"restored": True}
+        if req.route_epoch:
+            group = yield from session.query_one(
+                "SELECT state, epoch FROM dfm_group WHERE grp_id = ? AND "
+                "dbid = ?", (req.grp_id, req.dbid))
+            self._check_route(group, req.grp_id, req.route_epoch)
         changed = yield from session.execute(
             "UPDATE dfm_group SET state = ?, delete_txn = ?, "
             "delete_time = ?, expires_at = ? "
@@ -400,6 +440,99 @@ class DLFM:
         if changed != 1:
             raise LinkError(f"group {req.grp_id} missing or already deleted")
         return {"deleted": True}
+
+    # ------------------------------------------------------------------ rebalancing
+
+    #: dfm_file column order shared by ExportGroup's snapshot and
+    #: ImportGroup's verbatim re-insert.
+    _FILE_COLUMNS = ("filename, dbid, grp_id, recovery_id, link_txn, "
+                     "unlink_txn, unlink_recovery_id, unlink_time, state, "
+                     "check_flag, access_ctl, recovery, orig_owner, "
+                     "orig_group, orig_mode, archived")
+
+    def op_export_group(self, session, req: api.ExportGroup):
+        """Generator: rebalance source side — snapshot and mark moving-out.
+
+        The FOR UPDATE on the group row plus the full file-row scan mean
+        the export waits for (or deadlocks with, and retries after) any
+        in-flight transaction touching the group; a *prepared* in-doubt
+        transaction keeps its locks, so a move cannot start while the
+        group has in-doubt work — by design, never by luck.
+        """
+        group = yield from session.query_one(
+            "SELECT grp_id, dbid, table_name, column_name, state, "
+            "delete_txn, delete_time, expires_at, epoch FROM dfm_group "
+            "WHERE grp_id = ? AND dbid = ? FOR UPDATE",
+            (req.grp_id, req.dbid))
+        if group is None:
+            raise StaleRouteError(
+                f"group {req.grp_id} is not on shard {self.name}")
+        if group[4] != schema.GRP_ACTIVE:
+            raise LinkError(
+                f"group {req.grp_id} is {group[4]}, cannot move")
+        files = yield from session.execute(
+            f"SELECT {self._FILE_COLUMNS} FROM dfm_file "
+            "WHERE grp_id = ? AND dbid = ?", (req.grp_id, req.dbid))
+        # A move adopts file rows VERBATIM, so every row must be fully
+        # resolved: an in-doubt link's phase-2 Commit (chown takeover,
+        # archive enqueue) or Abort (row deletion) is addressed to THIS
+        # shard and would miss rows that moved. In-flight transactions
+        # block the scan above via their row locks; prepared ones
+        # released their locks at the local commit, so probe dfm_txn for
+        # every referenced transaction. Pending archive work stays too:
+        # the copy daemon's completion update must find the row here.
+        for row in files.rows:
+            if row[8] == schema.ST_UNLINKING:
+                raise LinkError(
+                    f"group {req.grp_id} has an unresolved unlink of "
+                    f"{row[0]}; retry after phase 2 settles")
+            pending = yield from session.execute(
+                "SELECT COUNT(*) FROM dfm_archive WHERE filename = ?",
+                (row[0],))
+            if pending.scalar():
+                raise LinkError(
+                    f"group {req.grp_id} has pending archive work for "
+                    f"{row[0]}; retry after the copy daemon drains")
+        for txn_id in sorted({row[4] for row in files.rows
+                              if row[4] is not None}):
+            unresolved = yield from session.query_one(
+                "SELECT state FROM dfm_txn WHERE dbid = ? AND txn_id = ?",
+                (req.dbid, txn_id))
+            if unresolved is not None:
+                raise LinkError(
+                    f"group {req.grp_id} has unresolved transaction "
+                    f"{txn_id} ({unresolved[0]}); retry later")
+        yield from session.execute(
+            "UPDATE dfm_group SET state = ?, delete_txn = ?, "
+            "delete_time = ? WHERE grp_id = ? AND dbid = ?",
+            (schema.GRP_MOVING_OUT, req.txn_id, self.sim.now,
+             req.grp_id, req.dbid))
+        return {"group_row": tuple(group),
+                "file_rows": tuple(tuple(row) for row in files.rows),
+                "epoch": group[8] or 0}
+
+    def op_import_group(self, session, req: api.ImportGroup):
+        """Generator: rebalance destination side — adopt the snapshot.
+
+        File rows are re-inserted verbatim (original link/unlink txn ids
+        and chown state preserved): phase-2 commit of the *move* must
+        not re-run takeover/release on files whose own transactions
+        finished long ago, so the adopted rows must not look freshly
+        written by the move transaction.
+        """
+        g = req.group_row
+        yield from session.execute(
+            "INSERT INTO dfm_group (grp_id, dbid, table_name, column_name, "
+            "state, delete_txn, delete_time, expires_at, epoch) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, NULL, ?)",
+            (req.grp_id, req.dbid, g[2], g[3], schema.GRP_MOVING_IN,
+             req.txn_id, self.sim.now, req.epoch))
+        placeholders = ", ".join("?" * 16)
+        for row in req.file_rows:
+            yield from session.execute(
+                f"INSERT INTO dfm_file ({self._FILE_COLUMNS}) "
+                f"VALUES ({placeholders})", tuple(row))
+        return {"imported": len(req.file_rows)}
 
     # ------------------------------------------------------------------ utility checkpoints
 
@@ -540,6 +673,28 @@ class DLFM:
                     "enqueued_at) VALUES (?, ?, ?, ?)",
                     (path, recovery_id, "pending", self.sim.now))
 
+        # Rebalance delayed updates: a committed move deletes the
+        # moving-out group here (its rows live on the destination shard
+        # now — no chown, the files never left the shared file server)
+        # and flips the moving-in copy active at its new epoch.
+        moved_out = yield from session.execute(
+            "SELECT grp_id FROM dfm_group WHERE delete_txn = ? AND "
+            "dbid = ? AND state = ?",
+            (req.txn_id, req.dbid, schema.GRP_MOVING_OUT))
+        for (grp_id,) in moved_out.rows:
+            yield from session.execute(
+                "DELETE FROM dfm_file WHERE grp_id = ? AND dbid = ?",
+                (grp_id, req.dbid))
+            yield from session.execute(
+                "DELETE FROM dfm_group WHERE grp_id = ? AND dbid = ?",
+                (grp_id, req.dbid))
+        yield from session.execute(
+            "UPDATE dfm_group SET state = ?, delete_txn = NULL, "
+            "delete_time = NULL WHERE delete_txn = ? AND dbid = ? "
+            "AND state = ?",
+            (schema.GRP_ACTIVE, req.txn_id, req.dbid,
+             schema.GRP_MOVING_IN))
+
         if groups_deleted:
             # Keep the entry so the Delete-Group daemon (or a restart
             # rescan) can find and finish the asynchronous unlinking.
@@ -597,6 +752,21 @@ class DLFM:
             # utility failure", §4) — the utility is resumed instead.
             yield from session.rollback()
             return {"outcome": "in-flight-kept"}
+        # Aborted move: delete the moving-in import FIRST — its rows keep
+        # their original link/unlink txn ids, so they are invisible to the
+        # generic per-txn statements below, and the moving-out restore to
+        # active must never leave two live copies of one group.
+        moving_in = yield from session.execute(
+            "SELECT grp_id FROM dfm_group WHERE delete_txn = ? AND "
+            "dbid = ? AND state = ?",
+            (req.txn_id, req.dbid, schema.GRP_MOVING_IN))
+        for (grp_id,) in moving_in.rows:
+            yield from session.execute(
+                "DELETE FROM dfm_file WHERE grp_id = ? AND dbid = ?",
+                (grp_id, req.dbid))
+            yield from session.execute(
+                "DELETE FROM dfm_group WHERE grp_id = ? AND dbid = ? "
+                "AND state = ?", (grp_id, req.dbid, schema.GRP_MOVING_IN))
         # Order matters: first remove entries this transaction inserted
         # (frees the unique (filename, '0') slot), then restore entries it
         # marked unlinking (which re-occupy that slot).

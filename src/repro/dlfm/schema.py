@@ -35,6 +35,12 @@ ST_UNLINKED = "unlinked"      # committed unlink, kept for point-in-time restore
 #: dfm_group.state values.
 GRP_ACTIVE = "active"
 GRP_DELETED = "deleted"
+#: Rebalance (repro.shard) delayed-update marks: the move transaction
+#: holds the group in these states between prepare and phase 2. Commit
+#: deletes a moving-out group (rows now live on the destination shard)
+#: and activates a moving-in one; abort restores/deletes respectively.
+GRP_MOVING_OUT = "moving-out"
+GRP_MOVING_IN = "moving-in"
 
 #: dfm_txn.state values.
 TXN_PREPARED = "prepared"
@@ -56,7 +62,8 @@ DDL = [
     "CREATE INDEX dfm_file_recovery ON dfm_file (recovery_id)",
     """CREATE TABLE dfm_group (
         grp_id INT, dbid TEXT, table_name TEXT, column_name TEXT,
-        state TEXT, delete_txn INT, delete_time FLOAT, expires_at FLOAT)""",
+        state TEXT, delete_txn INT, delete_time FLOAT, expires_at FLOAT,
+        epoch INT)""",
     "CREATE UNIQUE INDEX dfm_group_id ON dfm_group (dbid, grp_id)",
     "CREATE INDEX dfm_group_state ON dfm_group (state)",
     "CREATE INDEX dfm_group_txn ON dfm_group (dbid, delete_txn)",

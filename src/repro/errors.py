@@ -149,6 +149,17 @@ class UnlinkError(DataLinkError):
     """UnlinkFile failed (not linked, wrong transaction, ...)."""
 
 
+class StaleRouteError(DataLinkError):
+    """A routed request reached a shard whose group epoch disagrees.
+
+    Raised by a DLFM shard when a forwarded op carries a ``route_epoch``
+    that does not match its ``dfm_group`` row (or the group is not here
+    at all): the host's shard-map cache is stale — typically a
+    ``move_group`` committed since the route was cached. The router
+    reloads the map from the catalog and retries; the error never
+    aborts the host transaction."""
+
+
 class TwoPCProtocolError(DataLinkError):
     """Out-of-order or unknown-transaction 2PC verb."""
 

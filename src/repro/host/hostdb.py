@@ -19,6 +19,7 @@ from repro.host.datalink import DatalinkSpec, parse_url, shadow_column
 from repro.host.ids import RecoveryIdGenerator
 from repro.kernel.sim import Simulator
 from repro.minidb import Database, DBConfig
+from repro.minidb import wal as walmod
 from repro.sql.parser import parse as parse_sql
 
 
@@ -56,6 +57,20 @@ class HostConfig:
     bulk_load_indexes: bool = False
     token_expiry: float = 600.0
     indoubt_poll_period: float = 5.0
+    #: Decision piggybacking: record the 2PC commit decision as a payload
+    #: on the host transaction's own COMMIT log record instead of logged
+    #: INSERTs into ``dlk_indoubt`` — one WAL force carries both the
+    #: commit and the decision, taking the decision write off the commit
+    #: critical path. Forgetting appends an unforced FORGET record (a
+    #: lost FORGET merely re-drives an idempotent phase-2 Commit after
+    #: restart). Off by default: the paper-faithful experiments (and the
+    #: seed tests) observe the decision table directly.
+    decision_piggyback: bool = False
+    #: Bounded coordinator fan-out: >0 runs 2PC phase-1/phase-2 fan-out
+    #: through a WorkerPool of this many workers instead of spawning one
+    #: process per participant — a 32-shard commit no longer spawns 32
+    #: concurrent coordinator processes. 0 keeps the unbounded scatter.
+    fanout_workers: int = 0
 
 
 @dataclass
@@ -99,6 +114,16 @@ class HostDB:
         #: gtrid → XAPrepareResult for branches this incarnation
         #: prepared (volatile; xa_recover degrades gracefully without it).
         self.xa_votes: dict[str, object] = {}
+        #: Piggybacked 2PC decisions not yet forgotten: txn_id → tuple of
+        #: participant servers. In-memory mirror of the COMMIT-payload
+        #: decisions in the WAL; rebuilt from the log at restart.
+        self._decisions: dict[int, tuple] = {}
+        #: Shard router (``repro.shard.ShardMap``) — None on an unsharded
+        #: host, where datalink ops address DLFMs by file-server name.
+        self.shard_map = None
+        #: Reused in-doubt resolver session (keeps the poll SELECT and
+        #: per-txn forget DELETE on cached plans across poller passes).
+        self._indoubt_session = None
         self._bootstrap_schema()
 
     def _bootstrap_schema(self) -> None:
@@ -112,6 +137,61 @@ class HostDB:
         # E4 lesson applies to the host side too.
         self.db.set_table_stats("dlk_indoubt", card=100_000,
                                 colcard={"txn_id": 100_000})
+        # Shard-map catalog (repro.shard): file group → owning shard,
+        # with a fencing epoch bumped by every rebalance. Present (and
+        # empty) even on unsharded hosts so the schema is uniform.
+        self.db.ddl(parse_sql(
+            "CREATE TABLE dlk_shardmap (grp_id INT, shard TEXT, "
+            "epoch INT)"))
+        self.db.ddl(parse_sql(
+            "CREATE UNIQUE INDEX dlk_shardmap_grp ON dlk_shardmap "
+            "(grp_id)"))
+        self.db.set_table_stats("dlk_shardmap", card=100_000,
+                                colcard={"grp_id": 100_000})
+
+    # ------------------------------------------------------------------ decisions
+
+    def record_decision(self, txn_id: int, servers) -> None:
+        """Note a piggybacked commit decision (already durable: it rode
+        on the host transaction's COMMIT record)."""
+        self._decisions[txn_id] = tuple(servers)
+
+    def forget_decision(self, txn_id: int) -> None:
+        """Forget a piggybacked decision after phase 2 fully acked.
+
+        Appends an *unforced* FORGET record — losing it in a crash only
+        re-drives an idempotent phase-2 Commit at restart.
+        """
+        if txn_id in self._decisions:
+            self.db.wal.append(walmod.FORGET, None,
+                               payload={"txn": txn_id})
+            del self._decisions[txn_id]
+
+    def pending_decisions(self) -> dict:
+        """txn_id → tuple(servers) for piggybacked, unforgotten decisions."""
+        return dict(self._decisions)
+
+    def decision_rows(self):
+        """Every live commit decision as (txn_id, server) pairs — the
+        union of the durable ``dlk_indoubt`` table and the piggybacked
+        COMMIT-payload decisions."""
+        rows = [tuple(row) for row in self.db.table_rows("dlk_indoubt")]
+        for txn_id, servers in sorted(self._decisions.items()):
+            rows.extend((txn_id, server) for server in servers)
+        return rows
+
+    def _rescan_decisions(self) -> None:
+        """Rebuild the piggybacked-decision map from the durable log."""
+        pending: dict[int, tuple] = {}
+        for record in self.db.wal.records:
+            payload = record.payload
+            if not isinstance(payload, dict):
+                continue
+            if record.kind == walmod.COMMIT and payload.get("indoubt"):
+                pending[record.txn_id] = tuple(payload["indoubt"])
+            elif record.kind == walmod.FORGET:
+                pending.pop(payload.get("txn"), None)
+        self._decisions = pending
 
     # ------------------------------------------------------------------ sessions
 
@@ -152,9 +232,20 @@ class HostDB:
             session = self.session()
         for col in datalink:
             grp_id = self.group_ids[(name, col)]
-            for server in sorted(self.dlfms):
-                yield from session.dlfm_call(server, api.RegisterGroup(
-                    self.dbid, session.txn_id_for(server), grp_id, name, col))
+            if self.shard_map is not None:
+                # Sharded fleet: the group lives on exactly one shard
+                # (hash-assigned); the catalog row and the registration
+                # commit in the same host transaction.
+                shard = self.shard_map.assign(grp_id)
+                yield from self.shard_map.insert(session, grp_id, shard)
+                yield from session.dlfm_call(shard, api.RegisterGroup(
+                    self.dbid, session.txn_id_for(shard), grp_id, name,
+                    col, epoch=1))
+            else:
+                for server in sorted(self.dlfms):
+                    yield from session.dlfm_call(server, api.RegisterGroup(
+                        self.dbid, session.txn_id_for(server), grp_id,
+                        name, col))
         if own_session:
             yield from session.commit()
 
@@ -162,7 +253,9 @@ class HostDB:
         """Finalize a datalink table drop at commit time."""
         self.db.ddl(parse_sql(f"DROP TABLE {name}"))
         for col in self.datalink_columns.pop(name, {}):
-            self.group_ids.pop((name, col), None)
+            grp_id = self.group_ids.pop((name, col), None)
+            if grp_id is not None and self.shard_map is not None:
+                self.shard_map.forget(grp_id)
 
     # ------------------------------------------------------------------ tokens
 
@@ -171,6 +264,10 @@ class HostDB:
         linked under full access control (paper Fig. 3 flow)."""
         server, path = parse_url(url)
         dlfm = self.dlfms.get(server)
+        if dlfm is None and self.shard_map is not None:
+            # Sharded fleet: the URL names the (shared) file server, not
+            # a shard; every shard's filter shares one token secret.
+            dlfm = self.shard_map.any_shard()
         if dlfm is None:
             raise DataLinkError(f"unknown file server {server!r}")
         self.metrics.tokens_issued += 1
@@ -182,15 +279,23 @@ class HostDB:
     def crash(self) -> None:
         self.db.crash()
         self.xa_votes.clear()
+        self._decisions.clear()
+        self._indoubt_session = None
 
     def restart(self):
         """Generator: restart + distributed recovery (paper §3.3).
 
-        Replays forgotten phase-2 commits from ``dlk_indoubt``, then
-        resolves every DLFM's remaining prepared transactions to abort
-        (presumed abort: no decision row → the host never committed).
+        Replays forgotten phase-2 commits from the decision log — the
+        ``dlk_indoubt`` table plus piggybacked COMMIT-payload decisions
+        rescanned from the WAL — then resolves every DLFM's remaining
+        prepared transactions to abort (presumed abort: no decision →
+        the host never committed).
         """
         from repro.host.indoubt import resolve_indoubts
         self.db.restart()
+        self._indoubt_session = None
+        self._rescan_decisions()
+        if self.shard_map is not None:
+            self.shard_map.reload()
         result = yield from resolve_indoubts(self)
         return result

@@ -16,29 +16,59 @@ from repro.kernel import rpc
 from repro.kernel.sim import Timeout
 
 
+def _resolver_session(host):
+    """The host's cached resolver session: keeps the poll SELECT and the
+    per-transaction forget DELETE on cached plans across poller passes
+    instead of re-preparing them on a fresh session every time."""
+    session = host._indoubt_session
+    if session is None:
+        session = host._indoubt_session = host.db.session()
+    return session
+
+
 def resolve_indoubts(host):
     """Generator: one full resolution pass. Returns a summary dict.
 
     Presumed abort: first, re-drive phase 2 for every transaction with a
-    durable commit-decision row; then every transaction a DLFM still
-    reports as prepared has no decision row and is aborted. Both steps
-    fan out across the decision rows / servers (scatter-gather): after a
-    crash mid-fan-out many transactions are in doubt at once, and
-    re-driving them serially would stretch recovery by a round-trip per
-    row. Partial progress survives a failure — rows whose re-drive
-    succeeded are forgotten before the first error is re-raised (the
-    poller retries the remainder).
+    durable commit decision — ``dlk_indoubt`` rows and piggybacked
+    COMMIT-payload decisions alike; then every transaction a DLFM still
+    reports as prepared has no decision and is aborted. The re-drive
+    fans out across all (transaction, server) pairs at once
+    (scatter-gather): after a crash mid-fan-out many transactions are in
+    doubt together, and re-driving them serially would stretch recovery
+    by a round-trip per pair. A transaction is forgotten — ONE
+    ``DELETE ... WHERE txn_id = ?`` covering all its decision rows, one
+    FORGET record for a piggybacked decision — only when every one of
+    its participants acknowledged; partially-acked transactions keep
+    their decision intact and the poller re-drives the idempotent
+    Commits on the next pass.
     """
     committed = aborted = 0
 
-    # 1. Re-drive forgotten phase-2 commits, all rows at once.
-    session = host.db.session()
-    rows = yield from session.execute(
-        "SELECT txn_id, server FROM dlk_indoubt")
-    yield from session.commit()
-    pending = sorted(rows.rows)
+    # 1. Collect every live decision: durable table rows ∪ piggybacked.
+    session = _resolver_session(host)
+    try:
+        rows = yield from session.execute(
+            "SELECT txn_id, server FROM dlk_indoubt")
+        yield from session.commit()
+    except ReproError:
+        host._indoubt_session = None  # do not reuse a poisoned session
+        raise
+    decisions: dict[int, set] = {}
+    table_txns = set()
+    for txn_id, server in rows.rows:
+        decisions.setdefault(txn_id, set()).add(server)
+        table_txns.add(txn_id)
+    for txn_id, servers in host.pending_decisions().items():
+        decisions.setdefault(txn_id, set()).update(servers)
+
+    # 2. Re-drive phase 2, all (txn, server) pairs at once.
+    pending = sorted((txn_id, server)
+                     for txn_id, servers in decisions.items()
+                     for server in servers)
     first_error = None
     if pending:
+        acked: dict[int, set] = {}
         chans = [host.dlfms[server].connect() for _, server in pending]
         try:
             outcomes = yield from rpc.scatter(
@@ -49,22 +79,32 @@ def resolve_indoubts(host):
         finally:
             for chan in chans:
                 chan.close()
-        cleaner = host.db.session()
         for (txn_id, server), outcome in zip(pending, outcomes):
             if isinstance(outcome, BaseException):
                 if first_error is None:
                     first_error = outcome
                 continue
-            yield from cleaner.execute(
-                "DELETE FROM dlk_indoubt WHERE txn_id = ? AND server = ?",
-                (txn_id, server))
+            acked.setdefault(txn_id, set()).add(server)
             committed += 1
             host.metrics.indoubt_commits += 1
-        yield from cleaner.commit()
+        # 3. Forget fully-acknowledged transactions.
+        try:
+            for txn_id in sorted(acked):
+                if acked[txn_id] != decisions[txn_id]:
+                    continue  # partial ack: keep the decision, retry later
+                if txn_id in table_txns:
+                    yield from session.execute(
+                        "DELETE FROM dlk_indoubt WHERE txn_id = ?",
+                        (txn_id,))
+                host.forget_decision(txn_id)
+            yield from session.commit()
+        except ReproError:
+            host._indoubt_session = None
+            raise
     if first_error is not None:
         raise first_error
 
-    # 2. Anything still prepared at a DLFM has no decision row → abort.
+    # 4. Anything still prepared at a DLFM has no decision → abort.
     counts = yield from rpc.gather_all(
         host.sim,
         [_sweep_server(host, server) for server in sorted(host.dlfms)],

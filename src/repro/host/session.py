@@ -25,10 +25,12 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.dlfm import api
-from repro.errors import (DataLinkError, ReproError, TransactionAborted)
+from repro.errors import (DataLinkError, ReproError, StaleRouteError,
+                          TransactionAborted)
 from repro.host.datalink import parse_url, shadow_column
 from repro.host.render import count_params, render_expr
 from repro.kernel import rpc
+from repro.kernel.sim import Timeout
 from repro.sql import ast
 from repro.sql.parser import parse as parse_sql
 
@@ -98,6 +100,50 @@ class HostSession:
         chan = self._channel(server)
         result = yield from rpc.call(self.sim, chan, req)
         return result
+
+    # ------------------------------------------------------------------ shard routing
+
+    def _route(self, grp_id: int, server: str):
+        """Resolve a datalink op's target: (server, route_epoch).
+
+        Unsharded hosts address the DLFM named in the URL (epoch 0 =
+        no validation); sharded hosts resolve the file group through
+        the shard-map cache and fence the op with the cached epoch.
+        """
+        shard_map = self.host.shard_map
+        if shard_map is None:
+            return server, 0
+        return shard_map.resolve(grp_id)
+
+    def _routed_call(self, server: str, req):
+        """Generator: dlfm_call with stale-route retry.
+
+        When a shard answers StaleRouteError (its group epoch disagrees
+        with the route we cached — a move_group committed under us), the
+        map is reloaded from the catalog and the op re-resolved. Returns
+        the final ``(server, req)`` actually applied, which is what a
+        statement backout must compensate.
+        """
+        shard_map = self.host.shard_map
+        if shard_map is None:
+            yield from self.dlfm_call(server, req)
+            return server, req
+        for attempt in range(5):
+            try:
+                yield from self.dlfm_call(server, req)
+                return server, req
+            except StaleRouteError:
+                if attempt == 4:
+                    raise
+                # A mid-move group stays *moving* from the source's
+                # prepare until phase 2 lands on both shards; back off a
+                # little so the retries span that window instead of
+                # burning out against the same moving state.
+                yield Timeout(0.05 * (attempt + 1))
+                shard_map.reload()
+                server, epoch = shard_map.resolve(req.grp_id)
+                req = replace(req, route_epoch=epoch)
+        raise AssertionError("unreachable")
 
     def _send_batch(self, server: str, txn_id: int, ops, prepare=False):
         """Generator: ship buffered ops as ONE api.Batch rendezvous. The
@@ -203,10 +249,11 @@ class HostSession:
             server, path = parse_url(value)
             recovery_id = self.host.recovery_ids.next()
             grp_id = self.host.group_ids[(stmt.table, col)]
+            server, epoch = self._route(grp_id, server)
             links.append((server, api.LinkFile(
                 self.host.dbid, txn_id, path, grp_id, recovery_id,
                 access_ctl=spec.access_control,
-                recovery=spec.recovery_flag)))
+                recovery=spec.recovery_flag, route_epoch=epoch)))
             extra_cols.append(shadow_column(col))
             extra_vals.append(f"'{recovery_id}'")
 
@@ -235,9 +282,12 @@ class HostSession:
                 if url is None:
                     continue
                 server, path = parse_url(url)
+                grp_id = self.host.group_ids[(stmt.table, col)]
+                server, epoch = self._route(grp_id, server)
                 unlinks.append((server, api.UnlinkFile(
                     self.host.dbid, txn_id, path,
-                    self.host.recovery_ids.next())))
+                    self.host.recovery_ids.next(), grp_id=grp_id,
+                    route_epoch=epoch)))
         return (yield from self._run_with_backout(
             sql, params, links=[], unlinks=unlinks))
 
@@ -265,13 +315,15 @@ class HostSession:
                 server, path = parse_url(new_url)
                 new_recid = self.host.recovery_ids.next()
                 grp_id = self.host.group_ids[(stmt.table, col)]
+                server, epoch = self._route(grp_id, server)
                 # one link per qualifying row — linking the same file for
                 # several rows fails, as it must (a file has one link)
                 for _ in pre.rows:
                     links.append((server, api.LinkFile(
                         self.host.dbid, txn_id, path, grp_id, new_recid,
                         access_ctl=specs[col].access_control,
-                        recovery=specs[col].recovery_flag)))
+                        recovery=specs[col].recovery_flag,
+                        route_epoch=epoch)))
             sets.append(f"{shadow_column(col)} = "
                         + (f"'{new_recid}'" if new_recid else "NULL"))
         for row in pre.rows:
@@ -280,9 +332,12 @@ class HostSession:
                 if old_url is None:
                     continue
                 server, path = parse_url(old_url)
+                grp_id = self.host.group_ids[(stmt.table, col)]
+                server, epoch = self._route(grp_id, server)
                 unlinks.append((server, api.UnlinkFile(
                     self.host.dbid, txn_id, path,
-                    self.host.recovery_ids.next())))
+                    self.host.recovery_ids.next(), grp_id=grp_id,
+                    route_epoch=epoch)))
 
         new_sql = (f"UPDATE {stmt.table} SET {', '.join(sets)}{where_text}")
         return (yield from self._run_with_backout(
@@ -303,11 +358,11 @@ class HostSession:
             # Unlink before link: the same-file unlink+relink case needs
             # the linked slot freed first.
             for server, req in unlinks:
-                yield from self.dlfm_call(server, req)
+                server, req = yield from self._routed_call(server, req)
                 self.host.metrics.unlinks_sent += 1
                 done.append((server, req))
             for server, req in links:
-                yield from self.dlfm_call(server, req)
+                server, req = yield from self._routed_call(server, req)
                 self.host.metrics.links_sent += 1
                 done.append((server, req))
             return count
@@ -413,8 +468,18 @@ class HostSession:
         txn_id = self._ensure_txn()
         for col in specs:
             grp_id = self.host.group_ids[(name, col)]
-            for server in sorted(self.host.dlfms):
-                req = api.DeleteGroup(self.host.dbid, txn_id, grp_id)
+            if self.host.shard_map is not None:
+                # Sharded fleet: the group lives on one shard; retire its
+                # catalog row in the same transaction.
+                target, epoch = self._route(grp_id, None)
+                targets = [target]
+                yield from self.session.execute(
+                    "DELETE FROM dlk_shardmap WHERE grp_id = ?", (grp_id,))
+            else:
+                targets, epoch = sorted(self.host.dlfms), 0
+            for server in targets:
+                req = api.DeleteGroup(self.host.dbid, txn_id, grp_id,
+                                      route_epoch=epoch)
                 if self.host.config.batch_datalinks:
                     self._buffered.setdefault(server, []).append(req)
                 else:
@@ -446,28 +511,38 @@ class HostSession:
         mode = "scatter" if self.host.config.scatter_gather else "serial"
         with self.sim.tracer.span("prepare.fanout", n=len(phase1),
                                   mode=mode):
-            replies = yield from self._phase1(txn_id, phase1)
-        votes = {server: (reply or {}).get("vote", "commit")
-                 for server, reply in zip(phase1, replies)}
-        for server in phase1:
-            if votes[server] == "read-only":
+            prepared = yield from self._phase1(txn_id, phase1)
+        # ``prepared`` pairs each reply with the server that actually
+        # prepared — a stale batched route may have landed on a different
+        # shard than the one the op was buffered under.
+        for server, reply in prepared:
+            if (reply or {}).get("vote", "commit") == "read-only":
                 # Read-only participant optimization: the server hardened
                 # nothing and was released at end of phase 1 — it gets no
                 # dlk_indoubt decision row and no phase-2 Commit.
                 self.participants.discard(server)
                 self.host.metrics.readonly_votes += 1
 
-        # ---- decision: durable with the local commit; ONE multi-row
-        # INSERT covers every write participant -------------------------
+        # ---- decision: durable with the local commit ------------------
         participants = sorted(self.participants)
-        if participants:
-            marks = ", ".join(["(?, ?)"] * len(participants))
-            args = tuple(v for server in participants
-                         for v in (txn_id, server))
-            yield from self.session.execute(
-                f"INSERT INTO dlk_indoubt (txn_id, server) VALUES {marks}",
-                args)
-        yield from self.session.commit()
+        if participants and self.host.config.decision_piggyback:
+            # Piggybacked decision: the participant list rides on the
+            # local COMMIT record itself — one WAL force carries both,
+            # no logged INSERTs on the commit critical path.
+            yield from self.session.commit(
+                payload={"indoubt": list(participants)})
+            self.host.record_decision(txn_id, participants)
+        else:
+            # Classic decision table: ONE multi-row INSERT covers every
+            # write participant.
+            if participants:
+                marks = ", ".join(["(?, ?)"] * len(participants))
+                args = tuple(v for server in participants
+                             for v in (txn_id, server))
+                yield from self.session.execute(
+                    f"INSERT INTO dlk_indoubt (txn_id, server) "
+                    f"VALUES {marks}", args)
+            yield from self.session.commit()
         self._decided = True
         for name in self.pending_drops:
             self.host.apply_drop(name)
@@ -508,18 +583,92 @@ class HostSession:
 
     def _prepare_one(self, server: str, txn_id: int):
         """Generator: phase-1 prepare of one participant; returns the
-        prepare reply (vote included) whichever envelope carried it."""
+        ``(server, reply)`` pair that actually prepared.
+
+        With batching on, a stale route is only discovered HERE — the
+        ops were buffered under whatever shard the cache named and the
+        true owner first speaks up when the Batch applies. A failed
+        Batch leaves the wrong shard's sub-transaction as if it never
+        arrived, so it can be retried: abort the wrong shard, reload the
+        map, and re-send the whole bucket (Prepare still piggybacked) to
+        the new owner. A bucket whose groups re-resolve to several
+        shards, or to a shard this transaction is already preparing
+        concurrently, cannot be re-bucketed mid phase 1 — the stale
+        error propagates and aborts the transaction instead.
+        """
         ops = self._buffered.pop(server, None)
-        if ops:
-            reply = yield from self._send_batch(server, txn_id, ops,
-                                                prepare=True)
-            return reply.get("prepare") or {}
-        reply = yield from self._send_control(
-            server, api.Prepare(self.host.dbid, txn_id))
-        return reply
+        if not ops:
+            reply = yield from self._send_control(
+                server, api.Prepare(self.host.dbid, txn_id))
+            return server, reply
+        shard_map = self.host.shard_map
+        for attempt in range(5):
+            try:
+                reply = yield from self._send_batch(server, txn_id, ops,
+                                                    prepare=True)
+                return server, (reply.get("prepare") or {})
+            except StaleRouteError:
+                if shard_map is None or attempt == 4:
+                    raise
+                yield Timeout(0.05 * (attempt + 1))
+                shard_map.reload()
+                routes = {shard_map.resolve(op.grp_id) for op in ops
+                          if getattr(op, "grp_id", None) is not None}
+                if len(routes) != 1:
+                    raise  # groups split across new owners: cannot re-bucket
+                (new_server, epoch), = routes
+                if new_server != server:
+                    if new_server in self._phase1_targets:
+                        raise  # already preparing there concurrently
+                    # The wrong shard holds an untouched open sub-txn
+                    # (the Batch compensated itself): close it out.
+                    yield from self._send_control(
+                        server, api.Abort(self.host.dbid, txn_id))
+                    self.participants.discard(server)
+                    self._phase1_targets.add(new_server)
+                ops = [replace(op, route_epoch=epoch) for op in ops]
+                server = new_server
+        raise AssertionError("unreachable")
+
+    def _pooled_gather(self, gens, *, name: str, fault_point: str):
+        """Generator: bounded coordinator fan-out over a WorkerPool.
+
+        Runs ``gens`` through ``config.fanout_workers`` pool workers —
+        a 32-participant commit occupies at most that many concurrent
+        coordinator processes — and returns outcomes in ``gens`` order
+        with exceptions captured in place (gather_all's
+        ``return_exceptions=True`` contract). The same chaos window as
+        the unbounded scatter fires between hand-out and drain.
+        """
+        from repro.kernel.pool import WorkerPool
+        outcomes = [None] * len(gens)
+
+        def handle(item):
+            index, gen = item
+            try:
+                outcomes[index] = yield from gen
+            except Exception as error:  # incl. CrashedError: captured,
+                outcomes[index] = error  # never kills the pool worker
+        pool = WorkerPool(self.sim, name, handle,
+                          workers=min(self.host.config.fanout_workers,
+                                      len(gens)))
+        pool.start()
+        try:
+            for i, gen in enumerate(gens):
+                yield from pool.submit((i, gen))
+            if self.sim.injector.enabled:
+                yield from rpc._fanout_faults(self.sim, fault_point,
+                                              self.host.db.name)
+            yield from pool.drain()
+        finally:
+            pool.stop()
+        return outcomes
 
     def _phase1(self, txn_id: int, phase1: list[str]):
-        """Generator: run phase 1; returns replies in ``phase1`` order."""
+        """Generator: run phase 1; returns ``(server, reply)`` pairs in
+        ``phase1`` order (the server is the one that actually prepared
+        after any stale-route re-bucketing)."""
+        self._phase1_targets = set(phase1)
         gens = [self._prepare_one(server, txn_id) for server in phase1]
         if not self.host.config.scatter_gather:
             replies = []
@@ -531,11 +680,16 @@ class HostSession:
                     raise abort from error
             return replies
         try:
-            outcomes = yield from rpc.gather_all(
-                self.sim, gens, name=f"prepare-{txn_id}",
-                return_exceptions=True,
-                fault_point="twopc.fanout:prepare",
-                fault_node=self.host.db.name)
+            if self.host.config.fanout_workers > 0:
+                outcomes = yield from self._pooled_gather(
+                    gens, name=f"prepare-{txn_id}",
+                    fault_point="twopc.fanout:prepare")
+            else:
+                outcomes = yield from rpc.gather_all(
+                    self.sim, gens, name=f"prepare-{txn_id}",
+                    return_exceptions=True,
+                    fault_point="twopc.fanout:prepare",
+                    fault_node=self.host.db.name)
         except ReproError as error:
             # The coordinator itself died in the scatter→gather window;
             # outstanding prepares drain detached, participants resolve
@@ -561,7 +715,17 @@ class HostSession:
     def _phase2_commit(self, txn_id: int, servers: list[str]):
         calls = [(self._channel(server), api.Commit(self.host.dbid, txn_id))
                  for server in servers]
-        if self.host.config.scatter_gather:
+        if (self.host.config.scatter_gather
+                and self.host.config.fanout_workers > 0):
+            gens = [rpc.call(self.sim, chan, payload)
+                    for chan, payload in calls]
+            outcomes = yield from self._pooled_gather(
+                gens, name=f"phase2-{txn_id}",
+                fault_point="twopc.fanout:phase2")
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        elif self.host.config.scatter_gather:
             yield from rpc.scatter(
                 self.sim, calls, name=f"phase2-{txn_id}",
                 fault_point="twopc.fanout:phase2",
@@ -577,6 +741,11 @@ class HostSession:
         yield from self._forget_decision(txn_id, reuse=False)
 
     def _forget_decision(self, txn_id: int, reuse: bool = True):
+        if txn_id in self.host._decisions:
+            # Piggybacked decision: forgetting is an unforced FORGET
+            # record, not a logged DELETE + force.
+            self.host.forget_decision(txn_id)
+            return
         # Synchronous commits on a HostSession are serial, so they share
         # one cached session; the E6 async finishers run concurrently
         # with later transactions and must take their own.

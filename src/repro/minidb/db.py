@@ -163,16 +163,23 @@ class Database:
         return self.txns.begin(isolation or self.config.isolation,
                                self.sim.now)
 
-    def commit(self, txn: Transaction):
-        """Generator: commit — force the log, release locks."""
+    def commit(self, txn: Transaction, payload=None):
+        """Generator: commit — force the log, release locks.
+
+        ``payload`` rides on the COMMIT record itself (decision
+        piggybacking: the host's 2PC decision shares the commit's one
+        WAL force instead of paying for its own logged INSERTs). A
+        payload forces a COMMIT record even for a write-free
+        transaction — the decision must be durable regardless.
+        """
         self._ensure_up()
         if txn.rollback_only:
             yield from self.rollback(txn)
             raise TransactionAborted(
                 f"txn {txn.id} was rollback-only at commit",
                 reason=txn.abort_reason or "error")
-        if txn.last_lsn is not None:
-            self.wal.append(walmod.COMMIT, txn,
+        if txn.last_lsn is not None or payload is not None:
+            self.wal.append(walmod.COMMIT, txn, payload=payload,
                             active_floor=self.txns.active_floor())
             injector = self.sim.injector
             if injector.enabled:

@@ -53,12 +53,19 @@ class Session:
             self.txn = self.db.begin(self.isolation)
         return self.txn
 
-    def commit(self):
-        """Generator: commit the open transaction (no-op when none)."""
+    def commit(self, payload=None):
+        """Generator: commit the open transaction (no-op when none).
+
+        ``payload`` (if any) rides on the COMMIT log record — see
+        :meth:`Database.commit`. A payload with no open transaction
+        starts one so the record is still written and forced.
+        """
         if self.txn is None:
-            return
+            if payload is None:
+                return
+            self._require_txn()
         txn, self.txn = self.txn, None
-        yield from self.db.commit(txn)
+        yield from self.db.commit(txn, payload=payload)
 
     def rollback(self):
         """Generator: roll back the open transaction (no-op when none)."""

@@ -37,6 +37,7 @@ UPDATE = "UPDATE"
 CLR = "CLR"
 CHECKPOINT = "CHECKPOINT"
 PREPARE = "PREPARE"  # XA: transaction hardened but outcome undecided
+FORGET = "FORGET"    # 2PC decision forgotten (piggybacked decisions)
 
 _REDOABLE = frozenset({INSERT, DELETE, UPDATE, CLR})
 
@@ -127,7 +128,8 @@ class LogManager:
             floor = min(floor, active_floor - 1)
         window = self.tail_lsn - floor
         if window >= self.capacity and kind not in (COMMIT, ABORT, CLR,
-                                                    CHECKPOINT, PREPARE):
+                                                    CHECKPOINT, PREPARE,
+                                                    FORGET):
             # Ending records are always allowed so the pinning transaction
             # can be rolled back / finished; CLRs are its undo work.
             self.metrics.log_fulls += 1

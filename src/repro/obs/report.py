@@ -32,14 +32,18 @@ def _table(title: str, columns: List[str], rows: List[List[str]]) -> List[str]:
 
 
 def lock_hotspots(spans: List[dict], top: int = 10) -> List[dict]:
-    """Aggregate ``lock.wait`` spans by resource; sorted by total wait."""
+    """Aggregate ``lock.wait`` spans by (database, resource); sorted by
+    total wait. Keeping the database in the key matters for sharded
+    fleets: every shard has a ``dfm_file`` heap, and a hotspot report
+    that merged them could not say WHICH shard is convoying."""
     agg: dict = {}
     for span in spans:
         if span["name"] != "lock.wait":
             continue
         resource = str(span["attrs"].get("resource", "?"))
-        entry = agg.setdefault(resource, {
-            "resource": resource, "waits": 0, "total_wait": 0.0,
+        db = str(span["attrs"].get("db", "?"))
+        entry = agg.setdefault((db, resource), {
+            "db": db, "resource": resource, "waits": 0, "total_wait": 0.0,
             "max_wait": 0.0, "deadlocks": 0, "timeouts": 0,
         })
         entry["waits"] += 1
@@ -51,7 +55,7 @@ def lock_hotspots(spans: List[dict], top: int = 10) -> List[dict]:
         elif outcome == "timeout":
             entry["timeouts"] += 1
     ranked = sorted(agg.values(),
-                    key=lambda e: (-e["total_wait"], e["resource"]))
+                    key=lambda e: (-e["total_wait"], e["db"], e["resource"]))
     return ranked[:top]
 
 
@@ -95,9 +99,9 @@ def render_report(tracer, registry) -> str:
     if hotspots:
         lines += _table(
             "Top lock hotspots (by total wait, virtual seconds)",
-            ["resource", "waits", "total_wait", "max_wait", "deadlock",
-             "timeout"],
-            [[e["resource"], str(e["waits"]), _fmt(e["total_wait"]),
+            ["db", "resource", "waits", "total_wait", "max_wait",
+             "deadlock", "timeout"],
+            [[e["db"], e["resource"], str(e["waits"]), _fmt(e["total_wait"]),
               _fmt(e["max_wait"]), str(e["deadlocks"]), str(e["timeouts"])]
              for e in hotspots])
 
@@ -128,5 +132,14 @@ def render_report(tracer, registry) -> str:
             "Per-op latency (virtual seconds)",
             ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
             hist_rows)
+
+    counter_rows = [[name, str(counter.value)]
+                    for name, counter in sorted(registry._counters.items())
+                    if counter.value]
+    if counter_rows:
+        lines += _table(
+            "Counters (nonzero; per-node groups like dlfm.<shard>.<name>)",
+            ["counter", "value"],
+            counter_rows)
 
     return "\n".join(lines).rstrip() + "\n"

@@ -112,6 +112,68 @@ def workload(seed: int = 42, clients: int = 8, duration: float = 120.0):
     return tracer, registry, meta
 
 
+def sharded(seed: int = 11, shards: int = 3):
+    """A small sharded fleet under concurrent cross-shard traffic plus
+    one online rebalance, so the trace carries per-shard spans and the
+    report's lock hotspots / counter groups attribute work to a shard
+    (``dlfm.shard2.*``, ``locks.shard3.*``, ...)."""
+    from repro.shard import ShardedSystem, move_group
+
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    system = ShardedSystem(seed=seed, shards=shards, tracer=tracer)
+    host = system.host
+    tables = 2 * shards
+
+    def setup():
+        for i in range(tables):
+            yield from host.create_datalink_table(
+                f"t{i}", [("id", "INT"), ("doc", "TEXT")],
+                {"doc": DatalinkSpec(recovery=False)})
+
+    system.run(setup())
+
+    def client(i: int):
+        session = system.session()
+        for n in range(3):
+            path = f"/sh/t{i}/f{n}"
+            system.create_user_file(system.fs_name, path, owner=f"c{i}")
+            yield from session.execute(
+                f"INSERT INTO t{i} (id, doc) VALUES (?, ?)",
+                (n, build_url(system.fs_name, path)))
+        yield from session.commit()
+        session.close()
+
+    def scenario():
+        procs = [system.sim.spawn(client(i), f"sh-client-{i}")
+                 for i in range(tables)]
+        for proc in procs:
+            yield from proc.join()
+        # Rebalance one group onto whichever shard does not own it.
+        grp_id = min(host.group_ids.values())
+        src = host.shard_map.resolve(grp_id)[0]
+        dst = next(n for n in sorted(system.dlfms) if n != src)
+        moved = yield from move_group(host, grp_id, dst)
+        return moved
+
+    moved = system.run(scenario(), "scenario")
+    meta = {
+        "scenario": "sharded",
+        "seed": seed,
+        "shards": shards,
+        "moved_group": moved,
+        "shardmap_reloads": host.shard_map.reloads,
+        "rpcs": {name: system.dlfms[name].metrics.rpcs
+                 for name in sorted(system.dlfms)},
+    }
+    _import_counters(registry, system)
+    registry.register_counters("shardmap", {
+        "reloads": host.shard_map.reloads,
+        "entries": len(host.shard_map._cache),
+    })
+    return tracer, registry, meta
+
+
 def _import_counters(registry, system) -> None:
     """Snapshot flat engine counters into the registry for the report."""
     for name, dlfm in sorted(system.dlfms.items()):
@@ -139,4 +201,5 @@ def _import_counters(registry, system) -> None:
 SCENARIOS = {
     "commit-retry": commit_retry,
     "workload": workload,
+    "sharded": sharded,
 }

@@ -1,0 +1,14 @@
+"""repro.shard — a multi-node DLFM fleet behind one host database.
+
+The host becomes a router: file groups are hash-partitioned over N DLFM
+shards through a durable catalog table (``dlk_shardmap``) mirrored in an
+in-memory routing cache, every routed op is fenced with the cached epoch
+(:class:`~repro.errors.StaleRouteError` → reload + retry), and groups
+move between shards online with a 2PC ``move_group`` transaction.
+"""
+
+from repro.shard.catalog import ShardMap
+from repro.shard.rebalance import move_group
+from repro.shard.system import ShardedSystem
+
+__all__ = ["ShardMap", "ShardedSystem", "move_group"]

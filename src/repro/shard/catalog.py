@@ -1,0 +1,97 @@
+"""The shard-map catalog: file group → owning shard, with fencing epochs.
+
+The durable truth is the host database's ``dlk_shardmap`` table (one row
+per file group, committed in the same host transaction as the group's
+registration or move). :class:`ShardMap` keeps an in-memory routing
+cache over it: datalink ops resolve their target shard here, carry the
+cached epoch, and the shard rejects the op with
+:class:`~repro.errors.StaleRouteError` when its own group epoch
+disagrees — the session then calls :meth:`reload` and retries, so a
+``move_group`` committed under a running session never misroutes an op,
+it only costs it a round trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataLinkError
+
+
+class ShardMap:
+    def __init__(self, host, shards: dict):
+        #: Host database whose ``dlk_shardmap`` table is the durable map.
+        self.host = host
+        #: shard name → DLFM, the routing targets.
+        self.shards = dict(shards)
+        self.names = sorted(self.shards)
+        if not self.names:
+            raise DataLinkError("a shard map needs at least one shard")
+        #: grp_id → (shard, epoch) routing cache.
+        self._cache: dict[int, tuple[str, int]] = {}
+        #: Bumped on every reload (observability: stale-route storms show
+        #: up as a high reload count).
+        self.reloads = 0
+
+    # ------------------------------------------------------------------ placement
+
+    def assign(self, grp_id: int) -> str:
+        """Hash placement for a NEW group: deterministic, balanced."""
+        return self.names[grp_id % len(self.names)]
+
+    def insert(self, session, grp_id: int, shard: str):
+        """Generator: add the catalog row inside ``session``'s open host
+        transaction (epoch 1 = first placement) and prime the cache.
+
+        The cache entry appears before the transaction commits; if it
+        aborts, the next resolve of this group misses, reloads, and
+        raises unrouted — self-healing, like every stale cache entry.
+        """
+        if shard not in self.shards:
+            raise DataLinkError(f"unknown shard {shard!r}")
+        yield from session.execute(
+            "INSERT INTO dlk_shardmap (grp_id, shard, epoch) "
+            "VALUES (?, ?, 1)", (grp_id, shard))
+        self._cache[grp_id] = (shard, 1)
+
+    def forget(self, grp_id: int) -> None:
+        """Drop a group from the cache (its catalog row was deleted in
+        the dropping transaction)."""
+        self._cache.pop(grp_id, None)
+
+    # ------------------------------------------------------------------ resolution
+
+    def resolve(self, grp_id: int) -> tuple[str, int]:
+        """Route a group: ``(shard_name, epoch)`` from the cache, with a
+        reload on miss. Unrouted groups are a hard error — datalink DML
+        against a dropped (or never-registered) group."""
+        entry = self._cache.get(grp_id)
+        if entry is None:
+            self.reload()
+            entry = self._cache.get(grp_id)
+            if entry is None:
+                raise DataLinkError(
+                    f"file group {grp_id} is not in the shard map")
+        return entry
+
+    def reload(self) -> None:
+        """Rebuild the cache from the durable catalog.
+
+        Synchronous by design: restart recovery and stale-route retries
+        call it without a transaction of their own. The unlocked read
+        may see an uncommitted move's row — harmless, because a wrong
+        route only produces another StaleRouteError and another reload
+        once the move resolves.
+        """
+        self._cache = {
+            int(grp_id): (shard, int(epoch or 0))
+            for grp_id, shard, epoch in
+            self.host.db.table_rows("dlk_shardmap")}
+        self.reloads += 1
+
+    def entries(self) -> dict[int, tuple[str, int]]:
+        """Snapshot of the routing cache (tests and reports)."""
+        return dict(self._cache)
+
+    def any_shard(self):
+        """Some DLFM of the fleet — for fleet-wide concerns that are
+        shard-independent (e.g. the shared token secret)."""
+        return self.shards[self.names[0]]

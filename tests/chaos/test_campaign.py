@@ -39,6 +39,27 @@ def test_campaign_is_deterministic():
     assert first.to_json() == second.to_json()
 
 
+# ------------------------------------------------------------- sharded fleets
+
+def test_sharded_campaign_with_rebalance_is_clean_and_deterministic():
+    # Default plan: crash/delay/dup faults plus the shard.move crash
+    # points, hammering a 3-shard fleet with rebalances mixed in.
+    config = CampaignConfig(seed=1, ops=80, shards=3)
+    first = run_campaign(config)
+    assert first.ok, [v.detail for v in first.violations]
+    assert any(op["kind"] == "move_group" for op in first.op_trace)
+    second = run_campaign(config)
+    assert first.to_json() == second.to_json()
+
+
+def test_sharded_repro_doc_replays():
+    result = run_campaign(quiet_config(ops=16, round_ops=16, shards=2))
+    assert result.ok, [v.detail for v in result.violations]
+    doc = result.repro_doc()
+    assert doc["shards"] == 2
+    assert replay(doc).to_json() == result.to_json()
+
+
 # ------------------------------------------------------- corruptions are caught
 
 def test_checker_catches_dangling_link_row():

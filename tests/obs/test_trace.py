@@ -127,3 +127,19 @@ def test_render_report_lists_spans_and_histograms():
     assert "('row', 't', 1)" in text
     assert "dlfm.phase2" in text
     assert "span.lock.wait" in text
+
+
+def test_sharded_scenario_exports_per_shard_counter_groups():
+    from repro.obs.scenarios import sharded
+
+    tracer, registry, meta = sharded(seed=11, shards=3)
+    assert meta["moved_group"]["moved"] is True
+    snapshot = registry.snapshot()
+    for name in ("shard1", "shard2", "shard3"):
+        assert f"dlfm.{name}.rpcs" in snapshot
+        assert f"locks.{name}.acquires" in snapshot
+        assert f"wal.{name}.forces" in snapshot
+    assert "shardmap.entries" in snapshot
+    # Per-shard attribution survives into the rendered report.
+    text = render_report(tracer, registry)
+    assert "dlfm.shard2.rpcs" in text

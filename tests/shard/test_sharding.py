@@ -1,0 +1,335 @@
+"""The sharded fleet: shard-map routing, rebalancing, recovery.
+
+A :class:`~repro.shard.ShardedSystem` runs one shared file server and N
+DLFM shards partitioning the metadata by file group. These tests cover
+the router (ops land on the owning shard only, stale routes retry),
+``move_group`` (online 2PC rebalancing), and crash recovery (shard-map
+persistence, in-doubt moves resolving to the new owner, piggybacked
+decisions re-driven).
+"""
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultPlan, FaultRule
+from repro.dlff.filter import DLFM_ADMIN
+from repro.dlfm import schema
+from repro.errors import (CrashedError, DataLinkError, LinkedFileError,
+                          LinkError)
+from repro.host import DatalinkSpec, build_url
+from repro.host.indoubt import resolve_indoubts
+from repro.shard import ShardedSystem, move_group
+
+
+def _group_rows(dlfm, grp_id):
+    return [row for row in dlfm.db.table_rows("dfm_group")
+            if row[0] == grp_id]
+
+
+@pytest.fixture
+def fleet():
+    system = ShardedSystem(seed=7, shards=2)
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "docs", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=True)})
+        for i in range(6):
+            system.create_user_file("fs1", f"/x/f{i}", owner="u")
+
+    system.run(setup())
+    return system
+
+
+def _link(system, table, rid, path):
+    """Generator: link one file in its own transaction."""
+    session = system.session()
+    yield from session.execute(
+        f"INSERT INTO {table} (id, doc) VALUES (?, ?)",
+        (rid, build_url("fs1", path)))
+    yield from session.commit()
+
+
+def test_registration_lands_on_assigned_shard(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    owner = fleet.shard_of(grp_id)
+    other = next(n for n in fleet.dlfms if n != owner)
+    assert owner == fleet.host.shard_map.assign(grp_id)
+    assert [row[:2] for row in fleet.host.db.table_rows("dlk_shardmap")] \
+        == [(grp_id, owner)]
+    assert _group_rows(fleet.dlfms[owner], grp_id) != []
+    assert _group_rows(fleet.dlfms[other], grp_id) == []
+    # Sharded groups register fenced at epoch 1.
+    assert _group_rows(fleet.dlfms[owner], grp_id)[0][8] == 1
+
+
+def test_links_route_to_owning_shard_only(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    owner = fleet.shard_of(grp_id)
+    other = next(n for n in fleet.dlfms if n != owner)
+
+    def go():
+        yield from _link(fleet, "docs", 1, "/x/f0")
+        yield from _link(fleet, "docs", 2, "/x/f1")
+
+    fleet.run(go())
+    assert fleet.dlfms[owner].linked_count() == 2
+    assert fleet.dlfms[other].linked_count() == 0
+    assert fleet.servers["fs1"].fs.stat("/x/f0").owner == DLFM_ADMIN
+
+
+def test_fleet_upcall_protects_linked_files(fleet):
+    """The shared filter's upcall must find the owner among N shards."""
+    def go():
+        yield from _link(fleet, "docs", 1, "/x/f0")
+        with pytest.raises(LinkedFileError):
+            yield from fleet.filtered_fs().delete("/x/f0", user="u")
+
+    fleet.run(go())
+
+
+def test_stale_route_reloads_and_retries(fleet):
+    """A poisoned cache entry self-heals: the wrong shard answers
+    StaleRouteError, the router reloads the catalog and retries."""
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    owner = fleet.shard_of(grp_id)
+    other = next(n for n in fleet.dlfms if n != owner)
+    fleet.host.shard_map._cache[grp_id] = (other, 99)
+    before = fleet.host.shard_map.reloads
+
+    fleet.run(_link(fleet, "docs", 1, "/x/f0"))
+    assert fleet.host.shard_map.reloads > before
+    assert fleet.dlfms[owner].linked_count() == 1
+    assert fleet.dlfms[other].linked_count() == 0
+
+
+def test_wide_transaction_spans_shards_through_the_pool(fleet):
+    """Two tables land on different shards (hash assignment); one
+    transaction touching both commits through the bounded fan-out."""
+    def go():
+        yield from fleet.host.create_datalink_table(
+            "pics", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec()})
+        session = fleet.session()
+        yield from session.execute(
+            "INSERT INTO docs (id, doc) VALUES (?, ?)",
+            (1, build_url("fs1", "/x/f0")))
+        yield from session.execute(
+            "INSERT INTO pics (id, doc) VALUES (?, ?)",
+            (1, build_url("fs1", "/x/f1")))
+        yield from session.commit()
+
+    fleet.run(go())
+    docs_shard = fleet.shard_of(fleet.host.group_ids[("docs", "doc")])
+    pics_shard = fleet.shard_of(fleet.host.group_ids[("pics", "doc")])
+    assert docs_shard != pics_shard
+    assert fleet.dlfms[docs_shard].linked_count() == 1
+    assert fleet.dlfms[pics_shard].linked_count() == 1
+    assert fleet.host.config.fanout_workers > 0
+    # Phase 2 fully acked: no decision left anywhere.
+    assert fleet.host.decision_rows() == []
+
+
+def test_move_group_end_to_end(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    src = fleet.shard_of(grp_id)
+    dst = next(n for n in fleet.dlfms if n != src)
+
+    def go():
+        yield from _link(fleet, "docs", 1, "/x/f0")
+        yield from _link(fleet, "docs", 2, "/x/f1")
+        result = yield from move_group(fleet.host, grp_id, dst)
+        assert result == {"moved": True, "src": src, "dst": dst,
+                          "epoch": 2, "files": 2}
+
+    fleet.run(go())
+    assert fleet.dlfms[src].linked_count() == 0
+    assert fleet.dlfms[dst].linked_count() == 2
+    assert _group_rows(fleet.dlfms[src], grp_id) == []
+    [group] = _group_rows(fleet.dlfms[dst], grp_id)
+    assert group[4] == schema.GRP_ACTIVE and group[8] == 2
+    assert [tuple(r) for r in fleet.host.db.table_rows("dlk_shardmap")] \
+        == [(grp_id, dst, 2)]
+
+    def after():
+        # The fleet upcall now finds the file on the new owner...
+        with pytest.raises(LinkedFileError):
+            yield from fleet.filtered_fs().delete("/x/f0", user="u")
+        # ...and both link and unlink route there.
+        yield from _link(fleet, "docs", 3, "/x/f2")
+        session = fleet.session()
+        yield from session.execute("DELETE FROM docs WHERE id = ?", (1,))
+        yield from session.commit()
+
+    fleet.run(after())
+    assert fleet.dlfms[dst].linked_count() == 2
+    assert fleet.servers["fs1"].fs.stat("/x/f0").owner == "u"
+
+
+def test_move_group_rejects_bad_targets(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    src = fleet.shard_of(grp_id)
+
+    def go():
+        result = yield from move_group(fleet.host, grp_id, src)
+        assert result == {"moved": False, "src": src, "dst": src}
+        with pytest.raises(DataLinkError):
+            yield from move_group(fleet.host, grp_id, "shard99")
+
+    fleet.run(go())
+
+
+def test_shard_map_survives_host_restart(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+    dst = next(n for n in fleet.dlfms if n != fleet.shard_of(grp_id))
+
+    def go():
+        yield from _link(fleet, "docs", 1, "/x/f0")
+        yield from move_group(fleet.host, grp_id, dst)
+
+    fleet.run(go())
+    fleet.host.crash()
+    assert fleet.host.shard_map.entries() != {}  # cache only — now stale?
+
+    def recover():
+        # The move completed before the crash but its FORGET record is
+        # unforced and died with the host: restart re-drives the move's
+        # two idempotent phase-2 Commits.
+        result = yield from fleet.host.restart()
+        assert result == {"committed": 2, "aborted": 0}
+        # Routing rebuilt from the durable catalog, not the old cache.
+        assert fleet.host.shard_map.resolve(grp_id) == (dst, 2)
+        yield from _link(fleet, "docs", 2, "/x/f1")
+
+    fleet.run(recover())
+    assert fleet.dlfms[dst].linked_count() == 2
+
+
+def _crashing_fleet(point="twopc.fanout:phase2"):
+    plan = FaultPlan([FaultRule(point=point, kind="crash")], name="t")
+    system = ShardedSystem(seed=11, shards=2, injector=FaultInjector(plan))
+    system.injector.enabled = False
+
+    def setup():
+        yield from system.host.create_datalink_table(
+            "docs", [("id", "INT"), ("doc", "TEXT")],
+            {"doc": DatalinkSpec(recovery=True)})
+        for i in range(4):
+            system.create_user_file("fs1", f"/x/f{i}", owner="u")
+
+    system.run(setup())
+    return system
+
+
+def test_indoubt_move_resolves_to_new_owner():
+    """Host crashes mid phase 2 of a move: the decision and the catalog
+    flip are both durable, so recovery finishes the move — the group is
+    active on the destination only and every route lands there."""
+    system = _crashing_fleet()
+    grp_id = system.host.group_ids[("docs", "doc")]
+    src = system.shard_of(grp_id)
+    dst = next(n for n in system.dlfms if n != src)
+    system.run(_link(system, "docs", 1, "/x/f0"))
+
+    def crash_mid_move():
+        system.injector.enabled = True
+        with pytest.raises(CrashedError):
+            yield from move_group(system.host, grp_id, dst)
+
+    system.run(crash_mid_move())
+    system.injector.enabled = False
+    assert len(system.injector.crashes) == 1
+
+    def recover():
+        result = yield from system.host.restart()
+        # Both participants of the move re-acked the re-driven Commit.
+        assert result == {"committed": 2, "aborted": 0}
+        assert system.host.shard_map.resolve(grp_id) == (dst, 2)
+        yield from _link(system, "docs", 2, "/x/f1")
+
+    system.run(recover())
+    assert _group_rows(system.dlfms[src], grp_id) == []
+    [group] = _group_rows(system.dlfms[dst], grp_id)
+    assert group[4] == schema.GRP_ACTIVE
+    assert system.dlfms[src].linked_count() == 0
+    assert system.dlfms[dst].linked_count() == 2
+    assert system.host.decision_rows() == []
+
+
+def test_piggybacked_decision_redriven_after_crash():
+    """With decision piggybacking the commit decision never touches
+    ``dlk_indoubt`` — it is rescanned from the WAL and re-driven."""
+    system = _crashing_fleet()
+    grp_id = system.host.group_ids[("docs", "doc")]
+    owner = system.shard_of(grp_id)
+
+    def crash_mid_commit():
+        system.injector.enabled = True
+        with pytest.raises(CrashedError):
+            yield from _link(system, "docs", 1, "/x/f0")
+
+    system.run(crash_mid_commit())
+    system.injector.enabled = False
+
+    def recover():
+        result = yield from system.host.restart()
+        assert result == {"committed": 1, "aborted": 0}
+
+    system.run(recover())
+    assert system.dlfms[owner].linked_count() == 1
+    assert system.servers["fs1"].fs.stat("/x/f0").owner == DLFM_ADMIN
+    assert system.host.pending_decisions() == {}
+    assert system.host.db.table_rows("dlk_indoubt") == []
+
+
+def test_export_refuses_group_with_unresolved_transaction():
+    """An in-doubt link pins its group to the source shard: a move
+    adopts rows verbatim, so phase-2 verbs for the old transaction would
+    miss moved rows. The resolver runs first, then the move goes."""
+    system = _crashing_fleet()
+    grp_id = system.host.group_ids[("docs", "doc")]
+    src = system.shard_of(grp_id)
+    dst = next(n for n in system.dlfms if n != src)
+
+    def crash_mid_commit():
+        system.injector.enabled = True
+        with pytest.raises(CrashedError):
+            yield from _link(system, "docs", 1, "/x/f0")
+
+    system.run(crash_mid_commit())
+    system.injector.enabled = False
+    # Bring the host db back WITHOUT resolving, as a poller would see it:
+    # the link's prepared transaction is still in doubt on the shard.
+    system.host.db.restart()
+    system.host._indoubt_session = None
+    system.host._rescan_decisions()
+    system.host.shard_map.reload()
+
+    def go():
+        # The refusal names the unresolved transaction — or its pending
+        # archive work, when the crashed commit's stray in-flight Commit
+        # already landed on the shard. Either way the move bounces with
+        # "retry" until the resolver has run.
+        with pytest.raises(LinkError, match="retry"):
+            yield from move_group(system.host, grp_id, dst)
+        result = yield from resolve_indoubts(system.host)
+        assert result["committed"] == 1
+        moved = yield from move_group(system.host, grp_id, dst)
+        assert moved["moved"] and moved["files"] == 1
+
+    system.run(go())
+    assert system.dlfms[dst].linked_count() == 1
+    assert system.shard_of(grp_id) == dst
+
+
+def test_drop_table_cleans_catalog_row(fleet):
+    grp_id = fleet.host.group_ids[("docs", "doc")]
+
+    def go():
+        session = fleet.session()
+        yield from session.drop_table("docs")
+        yield from session.commit()
+
+    fleet.run(go())
+    assert fleet.host.db.table_rows("dlk_shardmap") == []
+    with pytest.raises(DataLinkError):
+        fleet.host.shard_map.resolve(grp_id)
