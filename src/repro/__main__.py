@@ -154,6 +154,14 @@ def cmd_bench(args) -> int:
     print(f"  burst         forces off={burst['off']['wal_forces']} "
           f"auto={burst['auto']['wal_forces']} "
           f"reduction={burst['force_reduction']}x")
+    rr_si = doc["rr_vs_si"]
+    print(f"  rr-vs-si      RR deadlocks={rr_si['rr']['deadlocks']} "
+          f"timeouts={rr_si['rr']['timeouts']} "
+          f"p95={rr_si['rr']['p95_txn_s']}s | "
+          f"SI deadlocks={rr_si['si']['deadlocks']} "
+          f"timeouts={rr_si['si']['timeouts']} "
+          f"p95={rr_si['si']['p95_txn_s']}s "
+          f"({rr_si['p95_improvement']}x)")
     load = doc["load"]
     print(f"  load          cold={load['cold']['load_sim_s']}s "
           f"bulk={load['bulk']['load_sim_s']}s "
@@ -210,14 +218,17 @@ def cmd_chaos(args) -> int:
                 return 2
         result = run_campaign(CampaignConfig(
             seed=args.seed, ops=args.ops, plan=plan,
-            corruptions=corruptions, shards=args.shards))
+            corruptions=corruptions, shards=args.shards,
+            read_isolation=args.read_isolation))
 
     doc = result.repro_doc()
     if args.json:
         print(result.to_json())
     else:
         print(f"chaos campaign: seed={doc['seed']} ops={doc['ops']} "
-              f"shards={doc.get('shards', 0)} plan={result.plan.name}")
+              f"shards={doc.get('shards', 0)} "
+              f"reads={doc.get('read_isolation', 'default')} "
+              f"plan={result.plan.name}")
         print(f"  ops run       {len(doc['op_trace'])}")
         print(f"  rounds        {doc['rounds']} "
               f"({result.stuck_rounds} stuck)")
@@ -308,6 +319,11 @@ def main(argv=None) -> int:
     chaos.add_argument("--shards", type=int, default=0,
                        help="run against a sharded fleet of N DLFM shards "
                             "(0 = the classic single-server system)")
+    chaos.add_argument("--read-isolation", choices=("default", "SI"),
+                       default="default",
+                       help="isolation for DLFM internal reads: 'default' "
+                            "replays the paper's locking levels, 'SI' runs "
+                            "the campaign on MVCC snapshot reads")
     chaos.add_argument("--plan", metavar="FILE",
                        help="FaultPlan JSON (default: built-in default plan)")
     chaos.add_argument("--replay", metavar="FILE",

@@ -28,6 +28,13 @@ trajectory in ``BENCH_PERF.json``:
   concurrent LOAD — run under fixed+cold and auto+bulk, whose
   sustained ``headline_ops_per_sec`` is gated by ``--check`` against
   this label's previous run;
+* an RR-vs-SI isolation arm — a 100-client half-readers/half-writers
+  mix over a hot table, run once under strict RR/next-key locking
+  (opposed lock orders → reader↔writer deadlocks and lock-wait
+  convoys, the E2/E7 pathology) and once under SI snapshot reads
+  (readers lock-free, writer conflicts first-writer-wins), whose
+  deadlock+timeout counts and p95 ``--check`` gates strictly lower
+  under SI;
 * a time-to-first-commit-after-crash arm: the same ≥500-committed-txn
   WAL is recovered once with classic full-replay ARIES restart
   (``DBConfig.instant_recovery=False``) and once with the instant
@@ -124,6 +131,19 @@ class BenchConfig:
     shard_links: int = 4
     #: Fleet sizes swept (the acceptance gate is quoted 1 → largest).
     shard_counts: tuple = (1, 2, 4, 8, 16, 32)
+    #: Clients in the RR-vs-SI isolation arm (half readers, half
+    #: writers; the acceptance gate is quoted at a 100-client mix).
+    rr_si_clients: int = 100
+    #: Transactions per RR-vs-SI client.
+    rr_si_txns: int = 3
+    #: Rows in the RR-vs-SI hot table (small on purpose: the readers'
+    #: ascending S-locks and the writers' descending X-locks must
+    #: actually collide under RR).
+    rr_si_rows: int = 16
+    #: Lock timeout for the RR-vs-SI arm (seconds): short enough that
+    #: RR's convoyed waiters show up as timeouts, long enough that the
+    #: deadlock detector usually fires first.
+    rr_si_lock_timeout: float = 5.0
     #: Clients in the headline mixed-workload arm.
     headline_clients: int = 24
     #: Link transactions per headline client.
@@ -369,6 +389,126 @@ def run_burst(cfg: BenchConfig) -> dict:
         "auto": auto,
         "force_reduction": round(
             off["wal_forces"] / max(auto["wal_forces"], 1), 2),
+    }
+
+
+# ------------------------------------------------------------------- rr-vs-si
+
+def run_rr_vs_si_arm(cfg: BenchConfig, isolation: str) -> dict:
+    """``rr_si_clients`` mixed readers/writers against ONE minidb under
+    ``isolation``. Readers scan two rows in ascending key order; writers
+    update two rows in DESCENDING order — under RR (strict 2PL, next-key
+    locking) the opposed lock orders build reader↔writer deadlock cycles
+    and queue-time blowups (the E2/E7 pathology); under SI the readers
+    take no locks at all, so the only conflicts left are writer↔writer,
+    and those all lock descending → no cycles. First-writer-wins aborts
+    surface as TransactionAborted and are retried like deadlock victims.
+    """
+    from repro.kernel.sim import Simulator
+    from repro.minidb import Database, DBConfig as MiniDBConfig
+
+    sim = Simulator(seed=cfg.seed)
+    db = Database(sim, "rrsi", MiniDBConfig(
+        isolation=isolation, next_key_locking=True,
+        lock_timeout=cfg.rr_si_lock_timeout, deadlock_check_interval=1.0,
+        timing=TimingModel.calibrated()))
+
+    def setup():
+        session = db.session()
+        yield from session.execute("CREATE TABLE t (k INT, v TEXT)")
+        yield from session.execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        for k in range(cfg.rr_si_rows):
+            yield from session.execute(
+                "INSERT INTO t (k, v) VALUES (?, ?)", (k, "init"))
+        yield from session.commit()
+        db.set_table_stats("t", card=1_000_000, colcard={"k": 1_000_000})
+
+    sim.run_process(setup())
+    latencies: list[float] = []
+    aborts = [0]
+    rng = sim.stream("rr-vs-si")
+
+    def reader(cid: int):
+        session = db.session()
+        for t in range(cfg.rr_si_txns):
+            a = rng.randrange(cfg.rr_si_rows - 1)
+            b = rng.randrange(a + 1, cfg.rr_si_rows)
+            started = sim.now
+            while True:
+                try:
+                    yield from session.execute(
+                        "SELECT v FROM t WHERE k = ?", (a,))
+                    yield from session.execute(
+                        "SELECT v FROM t WHERE k = ?", (b,))
+                    yield from session.commit()
+                    break
+                except TransactionAborted:
+                    aborts[0] += 1
+                    yield from session.rollback()
+                    yield Timeout(0.01)
+            latencies.append(sim.now - started)
+
+    def writer(cid: int):
+        session = db.session()
+        for t in range(cfg.rr_si_txns):
+            a = rng.randrange(cfg.rr_si_rows - 1)
+            b = rng.randrange(a + 1, cfg.rr_si_rows)
+            started = sim.now
+            while True:
+                try:
+                    # Descending: opposed to the readers' ascending order
+                    # under RR, but a consistent global order among the
+                    # writers themselves.
+                    yield from session.execute(
+                        "UPDATE t SET v = ? WHERE k = ?", (f"w{cid}.{t}", b))
+                    yield from session.execute(
+                        "UPDATE t SET v = ? WHERE k = ?", (f"w{cid}.{t}", a))
+                    yield from session.commit()
+                    break
+                except TransactionAborted:
+                    aborts[0] += 1
+                    yield from session.rollback()
+                    yield Timeout(0.01)
+            latencies.append(sim.now - started)
+
+    def root():
+        procs = []
+        for i in range(cfg.rr_si_clients):
+            body = writer if i % 2 else reader
+            procs.append(sim.spawn(body(i), f"rrsi-{isolation}-{i}"))
+        for proc in procs:
+            yield from proc.join()
+
+    sim.run_process(root())
+    merged = db.merge_versions() if db.config.mvcc else 0
+    metrics = db.locks.metrics
+    return {
+        "isolation": isolation,
+        "clients": cfg.rr_si_clients,
+        "txns": cfg.rr_si_clients * cfg.rr_si_txns,
+        "deadlocks": metrics.deadlocks,
+        "timeouts": metrics.timeouts,
+        "escalations": metrics.escalations,
+        "lock_waits": metrics.waits,
+        "aborts": aborts[0],
+        "versions_merged": merged,
+        "live_chains": db.live_chains(),
+        "p50_txn_s": _percentile(latencies, 50),
+        "p95_txn_s": _percentile(latencies, 95),
+        "sim_seconds": round(sim.now, 6),
+    }
+
+
+def run_rr_vs_si(cfg: BenchConfig) -> dict:
+    """RR vs SI over the identical reader/writer mix (same seed, same
+    key draws)."""
+    rr = run_rr_vs_si_arm(cfg, "RR")
+    si = run_rr_vs_si_arm(cfg, "SI")
+    return {
+        "rr": rr,
+        "si": si,
+        "p95_improvement": round(
+            (rr["p95_txn_s"] or 0) / max(si["p95_txn_s"] or 1e-9, 1e-9), 2),
     }
 
 
@@ -1074,7 +1214,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr8-sharded-fleet"
+HISTORY_LABEL = "pr9-mvcc-snapshot-reads"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -1113,6 +1253,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
           "on": run_e1_arm(cfg, "on"),
           "auto": run_e1_arm(cfg, "auto")}
     burst = run_burst(cfg)
+    rr_vs_si = run_rr_vs_si(cfg)
     load = run_load(cfg)
     headline_arm = run_headline(cfg)
     sentinels = {"e6": run_e6_sentinel(),
@@ -1125,7 +1266,12 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         f"{headline_arm['headline_ops_per_sec']} ops/s sustained; bulk "
         f"LOAD {load['speedup']}x at {cfg.load_files} files; "
         f"{burst['force_reduction']}x fewer WAL forces under a "
-        f"{cfg.burst_clients}-client burst with auto")
+        f"{cfg.burst_clients}-client burst with auto; SI snapshot reads "
+        f"cut the {cfg.rr_si_clients}-client mixed arm's "
+        f"deadlocks+timeouts "
+        f"{rr_vs_si['rr']['deadlocks'] + rr_vs_si['rr']['timeouts']}→"
+        f"{rr_vs_si['si']['deadlocks'] + rr_vs_si['si']['timeouts']} and "
+        f"p95 {rr_vs_si['p95_improvement']}x vs RR")
     # The headline gate compares against THIS label's previous run (the
     # row about to be replaced), so a regression in the commit path fails
     # --check even before the trajectory is rewritten.
@@ -1154,6 +1300,13 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "burst_force_reduction": burst["force_reduction"],
         "load_speedup": load["speedup"],
         "headline_ops_per_sec": headline_arm["headline_ops_per_sec"],
+        "rr_si_deadlocks_rr": rr_vs_si["rr"]["deadlocks"],
+        "rr_si_deadlocks_si": rr_vs_si["si"]["deadlocks"],
+        "rr_si_timeouts_rr": rr_vs_si["rr"]["timeouts"],
+        "rr_si_timeouts_si": rr_vs_si["si"]["timeouts"],
+        "rr_si_p95_rr_s": rr_vs_si["rr"]["p95_txn_s"],
+        "rr_si_p95_si_s": rr_vs_si["si"]["p95_txn_s"],
+        "rr_si_p95_improvement": rr_vs_si["p95_improvement"],
     }
     history = update_history(history, entry)
     return {
@@ -1181,6 +1334,10 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "recovery_checkpoint_frac": cfg.recovery_checkpoint_frac,
             "burst_clients": cfg.burst_clients,
             "burst_txns": cfg.burst_txns,
+            "rr_si_clients": cfg.rr_si_clients,
+            "rr_si_txns": cfg.rr_si_txns,
+            "rr_si_rows": cfg.rr_si_rows,
+            "rr_si_lock_timeout": cfg.rr_si_lock_timeout,
             "load_files": cfg.load_files,
             "load_piece": cfg.load_piece,
             "load_index_entry": cfg.load_index_entry,
@@ -1197,6 +1354,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "recovery": recovery,
         "e1": e1,
         "burst": burst,
+        "rr_vs_si": rr_vs_si,
         "load": load,
         "headline_arm": headline_arm,
         "headline_ops_per_sec": headline_arm["headline_ops_per_sec"],
@@ -1264,6 +1422,23 @@ def check(doc: dict) -> list[str]:
             f"burst force_reduction {burst.get('force_reduction')} < 2x "
             f"under the {burst.get('off', {}).get('clients')}-client "
             f"burst with auto")
+    rr_si = doc.get("rr_vs_si", {})
+    if rr_si:
+        rr, si = rr_si["rr"], rr_si["si"]
+        rr_stuck = rr["deadlocks"] + rr["timeouts"]
+        si_stuck = si["deadlocks"] + si["timeouts"]
+        if not rr_stuck:
+            failures.append(
+                "rr-vs-si arm built no contention under RR (0 deadlocks "
+                "+ timeouts) — the comparison is vacuous")
+        if si_stuck >= rr_stuck:
+            failures.append(
+                f"SI deadlocks+timeouts ({si_stuck}) not strictly below "
+                f"RR ({rr_stuck}) in the rr-vs-si arm")
+        if (si["p95_txn_s"] or 0) >= (rr["p95_txn_s"] or 0):
+            failures.append(
+                f"SI p95 {si['p95_txn_s']}s not below RR p95 "
+                f"{rr['p95_txn_s']}s in the rr-vs-si arm")
     load = doc.get("load", {})
     if load:
         if load.get("cold", {}).get("files", 0) < 10_000:

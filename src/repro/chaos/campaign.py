@@ -54,6 +54,10 @@ class CampaignConfig:
     #: over one shared file server; the workload gains ``move_group``
     #: ops and the checker enforces the shard-catalog invariants.
     shards: int = 0
+    #: Isolation for DLFM internal reads/forward lookups: ``"default"``
+    #: replays the paper's locking levels; ``"SI"`` runs the campaign
+    #: with MVCC snapshot reads (the chaos-smoke SI arm).
+    read_isolation: str = "default"
     #: Named seeded corruptions (keys of :data:`CORRUPTIONS`) applied
     #: right before the final invariant check. Unlike ``corrupt_hook``
     #: these are serialized into the repro document, so a deliberately
@@ -98,6 +102,7 @@ class CampaignResult:
             "recoveries": self.recoveries,
             "corruptions": list(self.config.corruptions),
             "shards": self.config.shards,
+            "read_isolation": self.config.read_isolation,
         }
 
     def to_json(self) -> str:
@@ -112,7 +117,8 @@ def config_from_doc(doc: dict) -> CampaignConfig:
         plan=FaultPlan.from_doc(doc["plan"]),
         servers=tuple(doc["servers"]), round_ops=doc["round_ops"],
         corruptions=tuple(doc.get("corruptions", ())),
-        shards=doc.get("shards", 0))
+        shards=doc.get("shards", 0),
+        read_isolation=doc.get("read_isolation", "default"))
 
 
 def replay(doc: dict) -> CampaignResult:
@@ -171,10 +177,40 @@ def _corrupt_deleted_group_marker(system) -> bool:
     return False
 
 
+def _corrupt_lost_version(system) -> bool:
+    """Clobber a linked row's version chain with a bogus delete marker.
+
+    The chain then claims the newest committed state of the row is
+    "deleted" while the base slot still holds it — exactly the damage a
+    buggy merge fold would do — so the freshest snapshot disagrees with
+    the base rows and ``lost-committed-version`` must fire."""
+    for name in sorted(system.dlfms):
+        db = system.dlfms[name].db
+        if not db.config.mvcc:
+            continue
+        heap = db.heaps["dfm_file"]
+        for rid, _row in sorted(heap.scan()):
+            heap._versions[rid] = [(db.wal.tail_lsn, None)]
+            return True
+    return False
+
+
+def _corrupt_stale_merge(system) -> bool:
+    """Force a merge pass with a watermark above every live snapshot."""
+    for name in sorted(system.dlfms):
+        db = system.dlfms[name].db
+        if db.config.mvcc:
+            db.merge_versions(watermark=db.wal.tail_lsn + 1)
+            return True
+    return False
+
+
 CORRUPTIONS = {
     "dangling-link-row": _corrupt_dangling_link_row,
     "leaked-lock": _corrupt_leaked_lock,
     "deleted-group-marker": _corrupt_deleted_group_marker,
+    "lost-committed-version": _corrupt_lost_version,
+    "stale-merge": _corrupt_stale_merge,
 }
 
 
@@ -191,6 +227,7 @@ class _Campaign:
         dlfm_config = DLFMConfig.tuned()
         dlfm_config.local_db = dlfm_config.local_db.with_changes(
             group_commit_window="auto", group_commit_max_window=2.0)
+        dlfm_config.read_isolation = config.read_isolation
         self.sharded = config.shards > 0
         if self.sharded:
             from repro.shard import ShardedSystem

@@ -31,6 +31,10 @@ Violation codes (also documented in DESIGN.md §10):
 ``missing-archive-copy``    archived=1 entry with no archive copy
 ``leaked-txn``              active (never-prepared) transaction after quiesce
 ``leaked-locks``            lock table non-empty with no transactions
+``lost-committed-version``  MVCC: newest committed version state disagrees
+                            with the base rows (a fold lost or invented data)
+``stale-merge``             MVCC: a merge ran with a watermark above the
+                            oldest live snapshot
 ``unresolved-moving-group`` group still moving-out/moving-in after quiesce
 ``ambiguous-group-ownership`` sharded: group active on several shards, on the
                             wrong shard, or at an epoch the catalog disagrees
@@ -49,6 +53,7 @@ server against the union of its DLFMs' metadata.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.dlff.filter import DLFM_ADMIN
@@ -384,3 +389,33 @@ def _check_engine_residue(db, node: str, out: list) -> None:
         out.append(Violation(
             "leaked-locks", node,
             f"{db.locks.total_locks} locks held with no live transactions"))
+    _check_version_state(db, node, out)
+
+
+def _check_version_state(db, node: str, out: list) -> None:
+    """MVCC residue inside one engine.
+
+    ``stale-merge``: the engine records every merge pass whose watermark
+    exceeded the oldest live snapshot (a daemon bug would tear rows out
+    from under a reader); the record survives until checked.
+
+    ``lost-committed-version``: with no transaction in flight, a fresh
+    snapshot at the WAL tail must see exactly the base rows — a multiset
+    comparison per table (row tuples may contain None, so no sorting).
+    Skipped while any transaction is live: a prepared transaction's
+    uncommitted slot data legitimately differs from its seed versions.
+    """
+    for detail in db.version_violations:
+        out.append(Violation("stale-merge", node, detail))
+    if not db.config.mvcc or db.txns.active:
+        return
+    for table in sorted(db.catalog.tables):
+        base = Counter(db.table_rows(table))
+        visible = Counter(db.snapshot_table_rows(table))
+        if base != visible:
+            lost = sum((base - visible).values())
+            extra = sum((visible - base).values())
+            out.append(Violation(
+                "lost-committed-version", node,
+                f"{table}: snapshot at the WAL tail disagrees with base "
+                f"rows ({lost} missing from the snapshot, {extra} extra)"))

@@ -49,6 +49,16 @@ class DLFMConfig:
     replay_workers: int = 2
     #: Period of the Garbage Collector daemon (seconds).
     gc_period: float = 600.0
+    #: Period of the Version-Merge daemon folding committed MVCC version
+    #: tails back into base records (seconds).
+    merge_period: float = 5.0
+    #: Isolation level for DLFM's hot internal reads and forward-session
+    #: lookups: ``"default"`` keeps the local database's own level (the
+    #: paper's behaviour, byte for byte); ``"SI"`` runs them as snapshot
+    #: reads that take no read locks, so the in-doubt poller, reconcile
+    #: scans, delete-group drain and link/unlink lookups never queue
+    #: behind — or deadlock with — phase-2 writers.
+    read_isolation: str = "default"
     #: Lifetime of a deleted file group before GC removes its metadata.
     group_lifetime: float = 3600.0
     #: Keep unlinked-file backup copies for the last N host backups.

@@ -32,6 +32,7 @@ from repro.dlfm.daemons.delete_group import DeleteGroupDaemon
 from repro.dlfm.daemons.gc import GarbageCollector
 from repro.dlfm.daemons.retrieved import RetrieveDaemon
 from repro.dlfm.daemons.upcall import UpcallDaemon
+from repro.dlfm.daemons.version_merge import VersionMergeDaemon
 from repro.errors import (RETRIABLE_FAULTS, LinkError, StaleRouteError,
                           TransactionAborted, TwoPCProtocolError,
                           UnlinkError)
@@ -99,6 +100,7 @@ class DLFM:
         self.retrieved = RetrieveDaemon(self)
         self.delete_groupd = DeleteGroupDaemon(self)
         self.gc = GarbageCollector(self)
+        self.merged = VersionMergeDaemon(self)
         self.upcalld = UpcallDaemon(self)
         self.filter.set_upcall(self.upcalld.query)
         #: Background replayer: drains cold pages' pending log chains
@@ -136,6 +138,7 @@ class DLFM:
             spawn(self.retrieved.run(), f"{self.name}-retrieved"),
             spawn(self.delete_groupd.run(), f"{self.name}-delgrpd"),
             spawn(self.gc.run(), f"{self.name}-gcd"),
+            spawn(self.merged.run(), f"{self.name}-merged"),
             spawn(self.upcalld.run(), f"{self.name}-upcalld"),
         ]
 
@@ -225,6 +228,35 @@ class DLFM:
         if cost > 0:
             yield Timeout(cost)
 
+    def read_session(self):
+        """A local-DB session at ``config.read_isolation``.
+
+        ``"default"`` returns a plain session at the engine's configured
+        level — the paper's behaviour, unchanged. ``"SI"`` returns a
+        snapshot-isolation session: its reads resolve against the MVCC
+        version chains at a begin-timestamp snapshot and take **no read
+        locks**, so DLFM's hot internal readers (in-doubt poller,
+        reconcile scans, delete-group drain, link/unlink lookups) never
+        queue behind — or deadlock with — phase-2 writers. Statements
+        that must see and fence the *current* state keep FOR UPDATE,
+        which forces the locking read path even under SI.
+        """
+        if self.config.read_isolation == "SI":
+            return self.db.session("SI")
+        return self.db.session()
+
+    def _probe_lock(self, session) -> str:
+        """``" FOR UPDATE"`` when ``session`` reads at SI, else ``""``.
+
+        Existence/state probes that *fence* a subsequent write (link's
+        group check, export's file scan) rely on lock waits under the
+        locking levels; under SI a plain read would resolve against a
+        snapshot and the fence would silently vanish (write-skew). The
+        explicit FOR UPDATE restores the current-read + lock semantics
+        for exactly those probes without touching the default levels.
+        """
+        return " FOR UPDATE" if session.isolation == "SI" else ""
+
     def retry_backoff(self, what: str) -> Backoff:
         """The retry-delay policy for phase-2 loops and daemons."""
         return Backoff(self.config.commit_retry_delay,
@@ -241,6 +273,9 @@ class DLFM:
             "copyd_conflicts": self.copyd.conflicts,
             "retrieved_queue_depth": self.retrieved.queue_depth,
             "delgrpd_queue_depth": self.delete_groupd.queue_depth,
+            "merged_passes": self.merged.passes,
+            "merged_versions_merged": self.merged.versions_merged,
+            "merged_live_chains": self.merged.live_chains,
         }
         for daemon in (self.copyd, self.retrieved, self.delete_groupd):
             prefix = daemon.pool.name.rsplit("-", 1)[-1]
@@ -319,7 +354,7 @@ class DLFM:
         # is stale — retryable, unlike a genuinely deleted group.
         group = yield from session.query_one(
             "SELECT state, epoch FROM dfm_group WHERE grp_id = ? AND "
-            "dbid = ?", (req.grp_id, req.dbid))
+            f"dbid = ?{self._probe_lock(session)}", (req.grp_id, req.dbid))
         if req.route_epoch:
             self._check_route(group, req.grp_id, req.route_epoch)
         if group is None or group[0] != schema.GRP_ACTIVE:
@@ -386,7 +421,8 @@ class DLFM:
             # "not linked" for a file whose group moved elsewhere.
             group = yield from session.query_one(
                 "SELECT state, epoch FROM dfm_group WHERE grp_id = ? AND "
-                "dbid = ?", (req.grp_id, req.dbid))
+                f"dbid = ?{self._probe_lock(session)}",
+                (req.grp_id, req.dbid))
             self._check_route(group, req.grp_id, req.route_epoch)
         entry = yield from session.query_one(
             "SELECT state FROM dfm_file WHERE filename = ? AND "
@@ -472,7 +508,8 @@ class DLFM:
                 f"group {req.grp_id} is {group[4]}, cannot move")
         files = yield from session.execute(
             f"SELECT {self._FILE_COLUMNS} FROM dfm_file "
-            "WHERE grp_id = ? AND dbid = ?", (req.grp_id, req.dbid))
+            f"WHERE grp_id = ? AND dbid = ?{self._probe_lock(session)}",
+            (req.grp_id, req.dbid))
         # A move adopts file rows VERBATIM, so every row must be fully
         # resolved: an in-doubt link's phase-2 Commit (chown takeover,
         # archive enqueue) or Abort (row deletion) is addressed to THIS
@@ -792,7 +829,7 @@ class DLFM:
 
     def op_list_indoubt(self, req: api.ListIndoubt):
         """Generator: prepared transactions awaiting the host's verdict."""
-        session = self.db.session()
+        session = self.read_session()
         rows = yield from session.execute(
             "SELECT txn_id FROM dfm_txn WHERE dbid = ? AND state = ?",
             (req.dbid, schema.TXN_PREPARED))
@@ -889,7 +926,7 @@ class DLFM:
         a temp table (reducing message count, as the paper describes) and
         set difference (EXCEPT) against dfm_file drives the fix-up.
         """
-        session = self.db.session()
+        session = self.read_session()
         yield from session.execute("CREATE TABLE temp_reconcile "
                                    "(filename TEXT, recovery_id TEXT, "
                                    "grp_id INT, access_ctl TEXT, "

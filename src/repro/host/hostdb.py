@@ -57,6 +57,12 @@ class HostConfig:
     bulk_load_indexes: bool = False
     token_expiry: float = 600.0
     indoubt_poll_period: float = 5.0
+    #: Isolation level for the host's own internal readers (today: the
+    #: in-doubt resolver's cached session). ``"default"`` keeps the host
+    #: engine's configured level; ``"SI"`` makes the poll SELECT a
+    #: lock-free snapshot read so resolution passes never queue behind
+    #: application transactions writing ``dlk_indoubt``.
+    read_isolation: str = "default"
     #: Decision piggybacking: record the 2PC commit decision as a payload
     #: on the host transaction's own COMMIT log record instead of logged
     #: INSERTs into ``dlk_indoubt`` — one WAL force carries both the

@@ -22,7 +22,11 @@ def _resolver_session(host):
     instead of re-preparing them on a fresh session every time."""
     session = host._indoubt_session
     if session is None:
-        session = host._indoubt_session = host.db.session()
+        if host.config.read_isolation == "SI":
+            session = host.db.session("SI")
+        else:
+            session = host.db.session()
+        host._indoubt_session = session
     return session
 
 

@@ -75,9 +75,18 @@ class DBConfig:
     #: Default isolation level for new sessions: "RR" (repeatable read,
     #: with phantom protection when next-key locking is on), "RS" (read
     #: stability: read locks held to commit, no phantom protection — what
-    #: DLFM effectively got by disabling next-key locking), or "CS"
-    #: (cursor stability).
+    #: DLFM effectively got by disabling next-key locking), "CS"
+    #: (cursor stability), or "SI" (snapshot isolation: reads resolve
+    #: against a begin-timestamp snapshot of the version chains and take
+    #: no S row/key locks at all; writers keep X locks and the first
+    #: writer to commit wins write-write conflicts). SI requires ``mvcc``.
     isolation: str = "RR"
+    #: Maintain MVCC lineage chains (base slot + append-only version
+    #: tail stamped with commit LSNs). Required for isolation="SI";
+    #: chains fold back into base records as soon as no live snapshot
+    #: can see them, so with no SI sessions this is pure bookkeeping and
+    #: RR/RS/CS scheduling is unchanged.
+    mvcc: bool = True
     #: Total lock entries available across all transactions (LOCKLIST).
     locklist_size: int = 100_000
     #: Fraction of the locklist one transaction may fill before its row
@@ -142,8 +151,10 @@ class DBConfig:
             raise ValueError("lock_timeout must be positive")
         if not 0 < self.maxlocks_fraction <= 1:
             raise ValueError("maxlocks_fraction must be in (0, 1]")
-        if self.isolation not in ("RR", "RS", "CS"):
+        if self.isolation not in ("RR", "RS", "CS", "SI"):
             raise ValueError(f"unknown isolation level {self.isolation!r}")
+        if self.isolation == "SI" and not self.mvcc:
+            raise ValueError("isolation='SI' requires mvcc=True")
         if self.rows_per_page < 1 or self.btree_order < 4:
             raise ValueError("degenerate storage geometry")
         if isinstance(self.group_commit_window, str):

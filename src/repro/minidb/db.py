@@ -56,6 +56,10 @@ class DBMetrics:
     #: Bulk LOAD: index entries whose maintenance was deferred to the
     #: end-of-load bottom-up build instead of per-row inserts.
     bulk_entries_deferred: int = 0
+    #: MVCC: tail versions stamped at commit / folded back into base
+    #: records (inline at commit plus the merge daemon's passes).
+    versions_created: int = 0
+    versions_merged: int = 0
 
     def note_abort(self, reason: str) -> None:
         self.rollbacks += 1
@@ -143,6 +147,10 @@ class Database:
         #: Index-entry maintenance work not yet converted into simulated
         #: time (drained by Session._charge_io, like pool.unbilled_io).
         self.unbilled_index_entries: float = 0.0
+        #: Guard-rail log for the merge path: an explicit fold watermark
+        #: above the oldest live snapshot lands here (the chaos checker
+        #: surfaces entries as ``stale-merge`` violations).
+        self.version_violations: list[str] = []
         for table in self.catalog.tables.values():
             self.heaps[table.name] = Heap(table.name, self.pool)
         for index in self.catalog.indexes.values():
@@ -160,8 +168,17 @@ class Database:
 
     def begin(self, isolation: Optional[str] = None) -> Transaction:
         self._ensure_up()
-        return self.txns.begin(isolation or self.config.isolation,
-                               self.sim.now)
+        level = isolation or self.config.isolation
+        txn = self.txns.begin(level, self.sim.now)
+        if level == "SI":
+            if not self.config.mvcc:
+                raise DatabaseError("isolation='SI' requires mvcc=True")
+            # Snapshot = current WAL tail: exactly the commit records
+            # appended so far. Reading an appended-but-unforced commit is
+            # safe — our own commit force flushes the tail in order, so
+            # this read can never become durable before what it saw.
+            txn.snapshot_lsn = self.wal.tail_lsn
+        return txn
 
     def commit(self, txn: Transaction, payload=None):
         """Generator: commit — force the log, release locks.
@@ -179,8 +196,12 @@ class Database:
                 f"txn {txn.id} was rollback-only at commit",
                 reason=txn.abort_reason or "error")
         if txn.last_lsn is not None or payload is not None:
-            self.wal.append(walmod.COMMIT, txn, payload=payload,
-                            active_floor=self.txns.active_floor())
+            record = self.wal.append(walmod.COMMIT, txn, payload=payload,
+                                     active_floor=self.txns.active_floor())
+            # Stamp the version tail with the commit LSN before any yield:
+            # in the cooperative kernel no snapshot can begin in between,
+            # so versions and the commit record appear atomically.
+            self._stamp_versions(txn, record.lsn)
             injector = self.sim.injector
             if injector.enabled:
                 # Crash with the COMMIT record appended but NOT durable.
@@ -448,8 +469,97 @@ class Database:
         record = self.wal.append(
             getattr(walmod, kind), txn, table=table, rid=rid, before=before,
             after=after, active_floor=self.txns.active_floor())
-        self.heaps[table].set_page_lsn(rid[0], record.lsn)
+        heap = self.heaps[table]
+        heap.set_page_lsn(rid[0], record.lsn)
+        if self.config.mvcc:
+            # First touch pins the committed pre-state as the chain seed;
+            # the commit will stamp the final state with its commit LSN.
+            heap.version_seed(rid, before)
+            txn.touched[(table, rid)] = None
         return record
+
+    # ------------------------------------------------------------------ versions
+
+    def oldest_snapshot_lsn(self) -> int:
+        """Merge watermark: oldest live SI snapshot, else the WAL tail."""
+        snap = self.txns.oldest_snapshot()
+        return snap if snap is not None else self.wal.tail_lsn
+
+    def write_conflict_check(self, txn: Transaction, table: str,
+                             rid) -> None:
+        """SI first-writer-wins: abort if the row has a version committed
+        after our snapshot (called with the X row lock already held, so
+        the newest version is final). Rows we already wrote are ours."""
+        if txn.snapshot_lsn is None or (table, rid) in txn.touched:
+            return
+        if self.heaps[table].version_newest_ts(rid) > txn.snapshot_lsn:
+            txn.mark_rollback_only("write-conflict")
+            raise TransactionAborted(
+                f"txn {txn.id}: row {table}:{rid} was modified after the "
+                f"snapshot (first writer wins)", reason="write-conflict")
+
+    def _stamp_versions(self, txn: Transaction, commit_lsn: int) -> None:
+        """Append one version per written rid at the commit LSN, then fold
+        what no live snapshot needs (with none live, the chain collapses
+        back into the base record immediately — legacy workloads never
+        accumulate chains)."""
+        if not self.config.mvcc or not txn.touched:
+            return
+        touched = list(txn.touched)
+        txn.touched.clear()
+        watermark = self.oldest_snapshot_lsn()
+        merged = 0
+        for table, rid in touched:
+            heap = self.heaps.get(table)
+            if heap is None:
+                continue  # table dropped mid-transaction (DDL is immediate)
+            heap.version_append(rid, commit_lsn, heap.fetch(rid))
+            self.metrics.versions_created += 1
+            merged += heap.fold_versions(rid, watermark)
+        self.metrics.versions_merged += merged
+
+    def merge_versions(self, watermark: Optional[int] = None) -> int:
+        """One merge pass: fold every chain no live snapshot can see.
+
+        Skips chains pinned by an in-flight writer (their slot holds
+        uncommitted data, so the seed must survive until commit/abort
+        resolves it). An explicit ``watermark`` above the oldest live
+        snapshot is a caller bug — it is recorded for the chaos
+        ``stale-merge`` invariant and the fold proceeds as asked, so the
+        checker provably catches the damage. Returns entries folded.
+        """
+        if not self.config.mvcc:
+            return 0
+        safe = self.oldest_snapshot_lsn()
+        if watermark is None:
+            watermark = safe
+        elif watermark > safe:
+            self.version_violations.append(
+                f"merge watermark {watermark} above oldest live "
+                f"snapshot {safe}")
+        pinned = set()
+        for active in self.txns.active:
+            pinned.update(active.touched)
+        merged = 0
+        for table, heap in self.heaps.items():
+            for rid in heap.version_rids():
+                if (table, rid) in pinned:
+                    continue
+                merged += heap.fold_versions(rid, watermark)
+        self.metrics.versions_merged += merged
+        return merged
+
+    def live_chains(self) -> int:
+        return sum(heap.live_chains for heap in self.heaps.values())
+
+    def snapshot_table_rows(self, table: str,
+                            ts: Optional[int] = None) -> list[tuple]:
+        """Rows of ``table`` visible at snapshot ``ts`` (default: a fresh
+        snapshot at the current tail). Lock-free; used by tests and the
+        chaos ``lost-committed-version`` checker."""
+        if ts is None:
+            ts = self.wal.tail_lsn
+        return [row for _, row in self.heaps[table].snapshot_scan(ts)]
 
     # ------------------------------------------------------------------ index maintenance
 
@@ -717,11 +827,15 @@ class Database:
             txn_table[txn.id] = {
                 "first": txn.first_lsn, "last": txn.last_lsn,
                 "prepared": txn.state is TxnState.PREPARED}
+        versions = {table: heap.versions_image()
+                    for table, heap in self.heaps.items()
+                    if heap.live_chains}
         record = self.wal.append(
             walmod.CHECKPOINT, None,
             payload={"active": [t.id for t in self.txns.active],
                      "chain_heads": dict(self.wal.page_heads),
-                     "txn_table": txn_table})
+                     "txn_table": txn_table,
+                     "versions": versions})
         self.wal.force()
         self.wal.note_checkpoint(record.lsn)
 

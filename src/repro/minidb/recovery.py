@@ -198,6 +198,7 @@ def _recover_instant(db) -> dict:
     # before-image lands, so undo is correct on a partially-replayed heap.
     undone = _undo_losers(db, losers, maintain_indexes=True)
     _resurrect_prepared(db, prepared, last_lsn, first_lsn)
+    _rebuild_versions(db)
     db.checkpoint()
     _close_traffic_gate(db)
     return {"redone": redone, "undone": undone,
@@ -258,6 +259,7 @@ def _recover_classic(db) -> dict:
     # ---- undo losers, resurrect indoubts, rebuild indexes -------------------
     undone = _undo_losers(db, losers, maintain_indexes=False)
     _resurrect_prepared(db, prepared, last_lsn, first_lsn)
+    _rebuild_versions(db)
     for index in db.catalog.indexes.values():
         btree = db.btrees[index.name]
         btree.clear()
@@ -331,15 +333,70 @@ def _resurrect_prepared(db, prepared: set[int], last_lsn: dict[int, int],
         txn.last_lsn = last_lsn.get(txn_id)
         txn.first_lsn = first_lsn.get(txn_id, txn.last_lsn)
         # Reacquire X locks on every row the transaction touched so new
-        # work cannot read or overwrite its undecided changes.
+        # work cannot read or overwrite its undecided changes. The same
+        # walk rebuilds the touched set: the eventual commit stamps one
+        # version per entry, and until then the merge pass must not fold
+        # the seed guarding each slot's uncommitted state.
         cursor = txn.last_lsn
         while cursor is not None:
             record = db.wal.record(cursor)
             if record.redoable and record.table in db.heaps:
                 db.locks.force_grant(
                     txn, ("row", record.table, record.rid), LockMode.X)
+                txn.touched[(record.table, record.rid)] = None
             cursor = record.prev_lsn
         db.txns._active[txn_id] = txn
+
+
+def _rebuild_versions(db) -> None:
+    """Mirror the runtime MVCC protocol over the durable log.
+
+    Chains as of the last checkpoint come from its payload; each tail
+    record then replays the same steps the runtime took — seed the
+    committed pre-state on a transaction's first touch, stamp one
+    version per written rid at the COMMIT record's LSN. Version appends
+    need no WAL records of their own: the logical heap records plus the
+    commit LSN *are* the version log (the same documented substitution
+    secondary indexes use). Runs after loser undo and in-doubt
+    resurrection, so the tail also covers recovery's own CLR/ABORT
+    chains. No snapshot survives a crash, so the closing merge pass
+    (watermark = log tail) folds every committed tail version back into
+    its base record; what remains are the before-image guards pinned by
+    resurrected in-doubt transactions — without them a new SI snapshot
+    would read an undecided slot.
+    """
+    if not db.config.mvcc:
+        return
+    wal = db.wal
+    ckpt = wal.last_checkpoint_lsn
+    if ckpt:
+        images = (wal.record(ckpt).payload or {}).get("versions", {})
+        for table, image in images.items():
+            heap = db.heaps.get(table)
+            if heap is not None:
+                heap.restore_versions(image)
+    #: txn id → {(table, rid): latest logged state} — what the commit
+    #: stamp would have seen in the slot at commit time (strict 2PL:
+    #: nobody else touches a rid between first write and commit).
+    pending: dict[int, dict] = {}
+    for record in wal.records[ckpt:]:
+        if record.kind == walmod.COMMIT:
+            for (table, rid), state in pending.pop(
+                    record.txn_id, {}).items():
+                heap = db.heaps.get(table)
+                if heap is not None:
+                    heap.version_append(rid, record.lsn, state)
+        elif record.kind == walmod.ABORT:
+            pending.pop(record.txn_id, None)
+        elif record.redoable:
+            heap = db.heaps.get(record.table)
+            if heap is None:
+                continue  # table dropped
+            if record.kind != walmod.CLR:
+                heap.version_seed(record.rid, record.before)
+            pending.setdefault(record.txn_id, {})[
+                (record.table, record.rid)] = record.after
+    db.merge_versions()
 
 
 def _apply_heap_state(heap: Heap, rid, desired: Optional[tuple]) -> None:

@@ -29,6 +29,14 @@ class Transaction:
         self.abort_reason: Optional[str] = None
         self.first_lsn: Optional[int] = None
         self.last_lsn: Optional[int] = None
+        #: SI only: WAL tail LSN at begin. Reads resolve to the newest
+        #: version committed at or before it; None for RR/RS/CS.
+        self.snapshot_lsn: Optional[int] = None
+        #: (table, rid) written by this transaction, insertion-ordered.
+        #: Snapshot reads treat these as own-writes (read the slot), the
+        #: commit stamps one version per entry, and the merge daemon
+        #: never folds a chain pinned here.
+        self.touched: dict[tuple[str, tuple], None] = {}
         self._locks: dict[Resource, None] = {}  # insertion-ordered set
         self._row_locks: dict[str, set[Resource]] = {}
         self._savepoints: dict[str, Optional[int]] = {}
@@ -130,6 +138,17 @@ class TransactionTable:
         lsns = [t.first_lsn for t in self._active.values()
                 if t.first_lsn is not None]
         return min(lsns) if lsns else None
+
+    def oldest_snapshot(self) -> Optional[int]:
+        """Smallest begin-snapshot among live SI transactions, or None.
+
+        This is the version-merge watermark source: versions older than
+        the newest one at-or-below it are invisible to every live and
+        future snapshot and can fold into the base record.
+        """
+        snaps = [t.snapshot_lsn for t in self._active.values()
+                 if t.snapshot_lsn is not None]
+        return min(snaps) if snaps else None
 
     @property
     def active(self) -> list[Transaction]:

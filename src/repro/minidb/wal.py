@@ -18,6 +18,15 @@ so a restart can find every page's chain without scanning the whole
 log; :meth:`LogManager.crash` rebuilds the heads from the last durable
 checkpoint plus the surviving tail (prev links only ever point
 backward, so truncating the unforced tail cannot dangle a chain).
+
+MVCC version chains are logged *implicitly*, the same substitution the
+indexes use: a version append is fully determined by a transaction's
+redoable records (the seed is the before-image of its first touch of a
+slot, the stamped state is its last logged ``after``) plus the LSN of
+its COMMIT record, which doubles as the version timestamp. Checkpoints
+snapshot the chains themselves in the payload (``"versions"``) next to
+the chain heads; ``recovery._rebuild_versions`` replays image + tail
+to reconstruct chains on both the classic and instant paths.
 """
 
 from __future__ import annotations

@@ -31,11 +31,19 @@ def _table(title: str, columns: List[str], rows: List[List[str]]) -> List[str]:
     return lines
 
 
+#: Requested lock modes that make the waiter a READER; everything else
+#: (X/IX/SIX/U) intends to write. The split answers the §13 question
+#: "would SI snapshot reads dissolve this hotspot?" — reader waits
+#: vanish under SI, writer waits do not.
+READER_MODES = frozenset({"S", "IS"})
+
+
 def lock_hotspots(spans: List[dict], top: int = 10) -> List[dict]:
     """Aggregate ``lock.wait`` spans by (database, resource); sorted by
     total wait. Keeping the database in the key matters for sharded
     fleets: every shard has a ``dfm_file`` heap, and a hotspot report
-    that merged them could not say WHICH shard is convoying."""
+    that merged them could not say WHICH shard is convoying. Each row
+    also splits the waits reader-vs-writer by the requested mode."""
     agg: dict = {}
     for span in spans:
         if span["name"] != "lock.wait":
@@ -45,10 +53,16 @@ def lock_hotspots(spans: List[dict], top: int = 10) -> List[dict]:
         entry = agg.setdefault((db, resource), {
             "db": db, "resource": resource, "waits": 0, "total_wait": 0.0,
             "max_wait": 0.0, "deadlocks": 0, "timeouts": 0,
+            "reader_waits": 0, "reader_wait": 0.0,
+            "writer_waits": 0, "writer_wait": 0.0,
         })
         entry["waits"] += 1
         entry["total_wait"] += span["duration"]
         entry["max_wait"] = max(entry["max_wait"], span["duration"])
+        side = ("reader" if span["attrs"].get("mode") in READER_MODES
+                else "writer")
+        entry[f"{side}_waits"] += 1
+        entry[f"{side}_wait"] += span["duration"]
         outcome = span["attrs"].get("outcome")
         if outcome == "deadlock":
             entry["deadlocks"] += 1
@@ -98,11 +112,15 @@ def render_report(tracer, registry) -> str:
     hotspots = lock_hotspots(spans)
     if hotspots:
         lines += _table(
-            "Top lock hotspots (by total wait, virtual seconds)",
-            ["db", "resource", "waits", "total_wait", "max_wait",
-             "deadlock", "timeout"],
-            [[e["db"], e["resource"], str(e["waits"]), _fmt(e["total_wait"]),
-              _fmt(e["max_wait"]), str(e["deadlocks"]), str(e["timeouts"])]
+            "Top lock hotspots (by total wait, virtual seconds; "
+            "rd=S/IS waiters, wr=X/IX/SIX/U)",
+            ["db", "resource", "waits", "rd", "wr", "total_wait",
+             "rd_wait", "wr_wait", "max_wait", "deadlock", "timeout"],
+            [[e["db"], e["resource"], str(e["waits"]),
+              str(e["reader_waits"]), str(e["writer_waits"]),
+              _fmt(e["total_wait"]), _fmt(e["reader_wait"]),
+              _fmt(e["writer_wait"]), _fmt(e["max_wait"]),
+              str(e["deadlocks"]), str(e["timeouts"])]
              for e in hotspots])
 
     phase2 = phase2_breakdown(spans)

@@ -14,7 +14,11 @@ rules implemented here are the ones the paper's lessons depend on:
 * a table scan locks *every row it examines*, which is why the optimizer
   picking table scans under concurrency "causes havoc" (E4);
 * update/delete scans lock examined rows S then convert qualifying rows
-  to X (conversion deadlocks included, as in real life without U locks).
+  to X (conversion deadlocks included, as in real life without U locks);
+* under **SI** plain reads take no locks at all — they resolve against
+  the begin-snapshot version chains (see ``storage.py``) — while writes
+  keep the full X/next-key protocol above plus a first-writer-wins
+  check, so mixed SI/RR workloads preserve RR's guarantees.
 
 Statement-level atomicity: the session wraps each statement in an
 implicit savepoint and undoes partial work on statement errors.
@@ -25,7 +29,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import DuplicateKeyError, SQLTypeError
-from repro.minidb.btree import INFINITY_KEY, encode_value
+from repro.minidb.btree import INFINITY_KEY, encode_key, encode_value
 from repro.minidb.locks import LockMode
 from repro.sql.optimizer import (AccessPath, DeletePlan, InsertPlan,
                                  SelectPlan, UpdatePlan)
@@ -86,6 +90,10 @@ class Executor:
 
     def _select_rows(self, txn, plan: SelectPlan, params: tuple):
         binding = plan.access.binding
+        # SI: plain reads resolve against the begin snapshot with no
+        # table/row/key locks at all. FOR UPDATE is a write intent and
+        # keeps the locking protocol (current-state read, like RR).
+        si_read = txn.snapshot_lsn is not None and not plan.for_update
         if plan.for_update:
             # DB2 update cursors take U when update locking is enabled:
             # writers serialize against each other without blocking
@@ -94,12 +102,13 @@ class Executor:
                          else LockMode.X)
         else:
             read_mode = LockMode.S
-        table_intent = LockMode.IX if plan.for_update else LockMode.IS
-        yield from self.db.locks.acquire(
-            txn, ("table", plan.table.name), table_intent)
-        if plan.join is not None:
+        if not si_read:
+            table_intent = LockMode.IX if plan.for_update else LockMode.IS
             yield from self.db.locks.acquire(
-                txn, ("table", plan.join.table.name), LockMode.IS)
+                txn, ("table", plan.table.name), table_intent)
+            if plan.join is not None:
+                yield from self.db.locks.acquire(
+                    txn, ("table", plan.join.table.name), LockMode.IS)
 
         produced: list[tuple] = []
         order_keys: list[tuple] = []
@@ -107,13 +116,13 @@ class Executor:
 
         scanned = yield from self._scan_access(
             txn, plan.access, params, {}, read_mode, cs_locks,
-            write_scan=plan.for_update)
+            write_scan=plan.for_update, si=si_read)
         for rid, row in scanned:
             env = {binding: row}
             if plan.join is not None:
                 inner_rows = yield from self._scan_access(
                     txn, plan.join.access, params, env, LockMode.S, cs_locks,
-                    write_scan=False)
+                    write_scan=False, si=si_read)
                 for inner_rid, inner_row in inner_rows:
                     env2 = dict(env)
                     env2[plan.join.access.binding] = inner_row
@@ -192,15 +201,19 @@ class Executor:
 
     def _scan_access(self, txn, access: AccessPath, params: tuple,
                      outer_env: dict, row_mode: LockMode, cs_locks: list,
-                     write_scan: bool):
+                     write_scan: bool, si: bool = False):
         """Lock-and-fetch all rows the access path touches.
 
         Returns list of (rid, row). ``row_mode`` is the lock taken on each
         examined row (S for reads; write scans take S then convert
-        qualifying rows later).
+        qualifying rows later). With ``si`` the scan is lock-free: rows
+        resolve through the version chains at the transaction's begin
+        snapshot (own writes read the slot).
         """
         heap = self.db.heaps[access.table]
         rows: list = []
+        if si:
+            return self._scan_snapshot(txn, access, params, outer_env)
         if access.kind == "table_scan":
             self.db.metrics.table_scans += 1
             for rid, _ in list(heap.scan()):
@@ -263,6 +276,73 @@ class Executor:
             yield from self.db.locks.acquire(
                 txn, ("key", access.table, probe.index.name, next_key),
                 nk_mode)
+        return rows
+
+    def _scan_snapshot(self, txn, access: AccessPath, params: tuple,
+                       outer_env: dict) -> list:
+        """SI access path: resolve rows at the begin snapshot, lock-free.
+
+        Index probes need care: the B+tree reflects *current* keys (and
+        uncommitted writers' entries), so probe matches are candidates
+        only — each candidate's visible version is re-checked against
+        the probe bounds — and rows whose visible version left the index
+        (deleted or re-keyed after the snapshot) are found through their
+        live chains, the L-Store-style tail sidecar scan.
+        """
+        heap = self.db.heaps[access.table]
+        ts = txn.snapshot_lsn
+        own = frozenset(r for t, r in txn.touched if t == access.table)
+        if access.kind == "table_scan":
+            self.db.metrics.table_scans += 1
+            return list(heap.snapshot_scan(ts, own))
+
+        self.db.metrics.index_scans += 1
+        probe = access.probe
+        btree = self.db.btrees[probe.index.name]
+        eq_values = [expr(outer_env, params) for expr in probe.eq_exprs]
+        lo_vals = list(eq_values)
+        hi_vals = list(eq_values)
+        lo_inc = hi_inc = True
+        if probe.lo is not None:
+            lo_vals.append(probe.lo[0](outer_env, params))
+            lo_inc = probe.lo[1]
+        if probe.hi is not None:
+            hi_vals.append(probe.hi[0](outer_env, params))
+            hi_inc = probe.hi[1]
+        lo = tuple(lo_vals) if lo_vals else None
+        hi = tuple(hi_vals) if hi_vals else None
+        elo = encode_key(lo) if lo is not None else None
+        ehi = encode_key(hi) if hi is not None else None
+
+        candidates: list = []
+        seen: set = set()
+        for _, rid in btree.scan_range(lo, lo_inc, hi, hi_inc):
+            if rid not in seen:
+                seen.add(rid)
+                candidates.append(rid)
+        for rid in heap.version_rids():
+            if rid not in seen:
+                seen.add(rid)
+                candidates.append(rid)
+
+        table = self.db.catalog.tables[access.table]
+        columns = probe.index.columns
+        rows: list = []
+        for rid in candidates:
+            row = heap.snapshot_fetch(rid, ts, own)
+            if row is None:
+                continue
+            ekey = encode_key(
+                tuple(row[table.position(c)] for c in columns))
+            if elo is not None:
+                prefix = ekey[:len(elo)]
+                if prefix < elo or (prefix == elo and not lo_inc):
+                    continue
+            if ehi is not None:
+                prefix = ekey[:len(ehi)]
+                if prefix > ehi or (prefix == ehi and not hi_inc):
+                    continue
+            rows.append((rid, row))
         return rows
 
     def _maybe_release_cs(self, txn, plan: SelectPlan, rid) -> None:
@@ -356,7 +436,7 @@ class Executor:
                      else LockMode.S)
         scanned = yield from self._scan_access(
             txn, plan.access, params, {}, scan_mode, cs_locks,
-            write_scan=True)
+            write_scan=True, si=txn.snapshot_lsn is not None)
         binding = plan.access.binding
         count = 0
         heap = self.db.heaps[table.name]
@@ -368,6 +448,10 @@ class Executor:
                 continue
             yield from self.db.locks.acquire(
                 txn, ("row", table.name, rid), LockMode.X)
+            # SI: the scan saw the snapshot version; with the X lock held,
+            # first-writer-wins — any version committed past the snapshot
+            # aborts us. When it passes, the slot equals the snapshot row.
+            self.db.write_conflict_check(txn, table.name, rid)
             current = heap.fetch(rid)
             if current is None:
                 continue
@@ -398,7 +482,7 @@ class Executor:
                      else LockMode.S)
         scanned = yield from self._scan_access(
             txn, plan.access, params, {}, scan_mode, cs_locks,
-            write_scan=True)
+            write_scan=True, si=txn.snapshot_lsn is not None)
         binding = plan.access.binding
         count = 0
         heap = self.db.heaps[table.name]
@@ -410,6 +494,7 @@ class Executor:
                 continue
             yield from self.db.locks.acquire(
                 txn, ("row", table.name, rid), LockMode.X)
+            self.db.write_conflict_check(txn, table.name, rid)
             current = heap.fetch(rid)
             if current is None:
                 continue

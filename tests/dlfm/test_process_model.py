@@ -1,7 +1,8 @@
 """Figure 5 — the DLFM process model.
 
-The main daemon spawns a child agent per host connection plus the six
-service daemons; all are real simulation processes.
+The main daemon spawns a child agent per host connection plus the
+service daemons (the paper's six, plus the MVCC version-merge daemon);
+all are real simulation processes.
 """
 
 import pytest
@@ -10,12 +11,12 @@ from repro.dlfm import api
 from repro.kernel import rpc
 
 
-def test_six_service_daemons_running(media):
+def test_service_daemons_running(media):
     dlfm = media.dlfms["fs1"]
     names = sorted(p.name for p in dlfm._daemon_procs)
     expected = sorted(f"fs1-{d}" for d in
                       ("chownd", "copyd", "retrieved", "delgrpd", "gcd",
-                       "upcalld"))
+                       "merged", "upcalld"))
     assert names == expected
     assert all(not p.finished for p in dlfm._daemon_procs)
 
@@ -95,5 +96,5 @@ def test_daemons_die_on_crash_and_restart_respawns(media):
     dlfm.crash()
     assert dlfm._daemon_procs == []
     dlfm.restart()
-    assert len(dlfm._daemon_procs) == 6
+    assert len(dlfm._daemon_procs) == 7
     assert all(p not in old for p in dlfm._daemon_procs)

@@ -17,10 +17,14 @@ The expected-state model relies on two engine facts:
   via ``pool.metrics.page_writes == 0`` before each crash).
 
 A fast scripted trace runs in tier 1; a larger randomized sweep is
-marked ``slow`` and excluded from the default run.
+marked ``slow`` and excluded from the default run. Every sweep is
+parametrized over ``mvcc`` on/off: with versioning on, each prefix
+additionally proves the rebuilt lineage chains agree with the base
+rows (a snapshot at the WAL tail sees exactly the committed state).
 """
 
 import random
+from collections import Counter
 
 import pytest
 
@@ -62,10 +66,22 @@ def check_indexes(db):
                 f"index {index.name} lost rid {rid} for key {key}"
 
 
-def run_scripted_trace(instant=True):
+def check_versions(db):
+    """With MVCC on and no live transactions, a snapshot at the WAL tail
+    must agree with the base rows — recovery rebuilt the chains right."""
+    if not db.config.mvcc or db.txns.active:
+        return
+    for table in db.catalog.tables:
+        assert (Counter(db.snapshot_table_rows(table))
+                == Counter(db.table_rows(table))), \
+            f"version chains diverged on {table}"
+
+
+def run_scripted_trace(instant=True, mvcc=True):
     """The fixed mixed DDL/DML trace; returns (db, [(end_lsn, snapshot)])."""
     sim = Simulator(seed=0)
-    db = Database(sim, "sweep", DBConfig(instant_recovery=instant))
+    db = Database(sim, "sweep", DBConfig(instant_recovery=instant,
+                                         mvcc=mvcc))
     snaps = []
 
     def snap():
@@ -123,11 +139,12 @@ def run_scripted_trace(instant=True):
     return db, snaps
 
 
-def run_random_trace(seed, instant=True):
+def run_random_trace(seed, instant=True, mvcc=True):
     """Seeded random DML trace over two tables; same return shape."""
     rng = random.Random(seed)
     sim = Simulator(seed=seed)
-    db = Database(sim, "sweep", DBConfig(instant_recovery=instant))
+    db = Database(sim, "sweep", DBConfig(instant_recovery=instant,
+                                         mvcc=mvcc))
     snaps = []
 
     def script():
@@ -188,18 +205,21 @@ def sweep(build, prefixes=None):
         expected = expected_at(snaps, prefix)
         check_recovered_state(db, expected)
         check_indexes(db)
+        check_versions(db)
         # Recovery checkpointed; an immediate second crash loses nothing.
         db.crash()
         db.restart()
         check_recovered_state(db, expected)
         check_indexes(db)
+        check_versions(db)
     return tail
 
 
+@pytest.mark.parametrize("mvcc", [True, False], ids=["mvcc", "nomvcc"])
 @pytest.mark.parametrize("instant", [True, False],
                          ids=["instant", "classic"])
-def test_scripted_trace_every_prefix(instant):
-    tail = sweep(lambda: run_scripted_trace(instant))
+def test_scripted_trace_every_prefix(instant, mvcc):
+    tail = sweep(lambda: run_scripted_trace(instant, mvcc))
     assert tail >= 20  # the trace is big enough to mean something
 
 
@@ -224,24 +244,25 @@ def test_full_prefix_equals_clean_restart():
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("mvcc", [True, False], ids=["mvcc", "nomvcc"])
 @pytest.mark.parametrize("instant", [True, False],
                          ids=["instant", "classic"])
 @pytest.mark.parametrize("seed", [1, 2, 3])
-def test_random_trace_every_prefix(seed, instant):
-    tail = sweep(lambda: run_random_trace(seed, instant))
+def test_random_trace_every_prefix(seed, instant, mvcc):
+    tail = sweep(lambda: run_random_trace(seed, instant, mvcc))
     assert tail >= 80
 
 
 # ------------------------------------------------------- checkpointed sweep
 
-def run_checkpointed_trace(instant=True):
+def run_checkpointed_trace(instant=True, mvcc=True):
     """Scripted trace with a mid-trace checkpoint: disk pages, index
     images and per-page chain heads are all live at crash time. Returns
     (db, snaps, checkpoint_lsn)."""
     sim = Simulator(seed=0)
     # Small pages spread the rows over several per-page chains.
     db = Database(sim, "sweep", DBConfig(instant_recovery=instant,
-                                         rows_per_page=2))
+                                         rows_per_page=2, mvcc=mvcc))
     snaps = []
 
     def snap():
@@ -280,23 +301,25 @@ def run_checkpointed_trace(instant=True):
     return db, snaps, db.wal.last_checkpoint_lsn
 
 
+@pytest.mark.parametrize("mvcc", [True, False], ids=["mvcc", "nomvcc"])
 @pytest.mark.parametrize("instant", [True, False],
                          ids=["instant", "classic"])
-def test_checkpointed_trace_every_tail_prefix(instant):
+def test_checkpointed_trace_every_tail_prefix(instant, mvcc):
     """Per-page-chain sweep: every prefix at or past the checkpoint is a
     legitimate crash state (the checkpoint flushed the pages it covers),
     and recovery from chain heads + index images must match the model."""
-    reference, _, ckpt = run_checkpointed_trace(instant)
+    reference, _, ckpt = run_checkpointed_trace(instant, mvcc)
     tail = reference.wal.tail_lsn
     assert ckpt > 0 and tail > ckpt + 5
     for prefix in range(ckpt, tail + 1):
-        db, snaps, _ = run_checkpointed_trace(instant)
+        db, snaps, _ = run_checkpointed_trace(instant, mvcc)
         db.wal.flushed_upto = prefix
         db.crash()
         db.restart()
         expected = expected_at(snaps, prefix)
         check_recovered_state(db, expected)
         check_indexes(db)
+        check_versions(db)
         # Double restart: recovery's end checkpoint re-snapshots the
         # still-pending chain heads, so an immediate second crash —
         # i.e. a crash DURING the lazy replay — loses nothing.
@@ -304,6 +327,7 @@ def test_checkpointed_trace_every_tail_prefix(instant):
         db.restart()
         check_recovered_state(db, expected)
         check_indexes(db)
+        check_versions(db)
 
 
 # ------------------------------------------------------------- lazy replay

@@ -116,6 +116,10 @@ def test_render_report_lists_spans_and_histograms():
                              mode="X") as span:
                 yield Timeout(2.0)
                 span.set(outcome="granted")
+        with tracer.span("lock.wait", resource="('row', 't', 1)",
+                         mode="S") as span:
+            yield Timeout(4.0)
+            span.set(outcome="granted")
         with tracer.span("dlfm.phase2", verb="commit", attempt=1) as span:
             yield Timeout(1.0)
             span.set(outcome="ok")
@@ -127,6 +131,12 @@ def test_render_report_lists_spans_and_histograms():
     assert "('row', 't', 1)" in text
     assert "dlfm.phase2" in text
     assert "span.lock.wait" in text
+    # The hotspot row splits its waits reader-vs-writer by lock mode.
+    from repro.obs.report import lock_hotspots
+    [row] = lock_hotspots(tracer.completed_spans())
+    assert row["reader_waits"] == 1 and row["writer_waits"] == 3
+    assert row["reader_wait"] == 4.0 and row["writer_wait"] == 6.0
+    assert "rd_wait" in text and "wr_wait" in text
 
 
 def test_sharded_scenario_exports_per_shard_counter_groups():
