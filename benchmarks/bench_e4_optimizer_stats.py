@@ -124,3 +124,63 @@ def test_e4_runstats_guard(benchmark):
     assert after_runstats == "table_scan"   # the paper's failure mode
     assert repaired is True
     assert after_guard == "index_scan"
+
+
+def test_e4_auto_runstats_flips_without_pinning(benchmark):
+    """The modern alternative to catalog surgery: with auto-RUNSTATS on
+    and pinning OFF, ordinary link traffic grows ``dfm_file`` past the
+    mutation threshold and the probe flips to the index on its own —
+    no ``set_stats`` anywhere. Pinned tables stay exempt, so the
+    paper's guard and the automation coexist."""
+    from repro.system import System
+    from repro.host import DatalinkSpec, build_url
+
+    def arm(auto: bool):
+        config = DLFMConfig.tuned()
+        config.pin_statistics = False
+        config.auto_runstats = auto
+        config.local_db = config.local_db.with_changes(
+            auto_runstats_threshold=10, auto_runstats_fraction=0.2)
+        system = System(seed=17, dlfm_config=config)
+        dlfm = system.dlfms["fs1"]
+
+        def go():
+            yield from system.host.create_datalink_table(
+                "t", [("id", "INT"), ("f", "TEXT")], {"f": DatalinkSpec()})
+            session = system.session()
+            for i in range(150):
+                system.create_user_file("fs1", f"/auto/{i}", owner="u")
+                yield from session.execute(
+                    "INSERT INTO t (id, f) VALUES (?, ?)",
+                    (i, build_url("fs1", f"/auto/{i}")))
+                if (i + 1) % 10 == 0:
+                    yield from session.commit()
+            yield from session.commit()
+
+        system.run(go())
+        stats = dlfm.db.catalog.stats_for("dfm_file")
+        return {
+            "probe_plan": dlfm.db.explain(PROBE)["access"],
+            "card_seen": stats.card,
+            "manual": stats.manual,
+            "refreshes": dlfm.db.metrics.auto_runstats_runs,
+        }
+
+    def run():
+        return arm(auto=True), arm(auto=False)
+
+    auto, cold = run_once(benchmark, run)
+    print_table(
+        "E4c — auto-RUNSTATS vs cold statistics (no pinning)",
+        ["metric", "auto-RUNSTATS", "cold stats"],
+        [
+            ("File-table probe plan", auto["probe_plan"],
+             cold["probe_plan"]),
+            ("catalog card", auto["card_seen"], cold["card_seen"]),
+            ("stats refreshes", auto["refreshes"], cold["refreshes"]),
+        ])
+    assert auto["probe_plan"] == "index_scan"
+    assert not auto["manual"]               # the flip came from auto-stats
+    assert auto["refreshes"] >= 1
+    assert cold["probe_plan"] == "table_scan"
+    assert cold["refreshes"] == 0

@@ -166,6 +166,14 @@ def cmd_bench(args) -> int:
     print(f"  load          cold={load['cold']['load_sim_s']}s "
           f"bulk={load['bulk']['load_sim_s']}s "
           f"speedup={load['speedup']}x")
+    metacat = doc["metacat"]
+    print(f"  metacat       interpolated="
+          f"{metacat['interpolated']['stmts_per_s']} stmt/s "
+          f"prepared={metacat['prepared']['stmts_per_s']} stmt/s "
+          f"({metacat['prepared_speedup']}x); plans "
+          f"auto={metacat['auto_probe_plan']} "
+          f"cold={metacat['cold']['probe_plan']} "
+          f"(runstats runs={metacat['ingest']['auto_runstats_runs']})")
     headline_arm = doc["headline_arm"]
     print(f"  headline      fixed={headline_arm['fixed']['ops_per_sec']} "
           f"auto+bulk={headline_arm['adaptive']['ops_per_sec']} ops/s "

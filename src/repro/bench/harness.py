@@ -152,15 +152,27 @@ class BenchConfig:
     headline_links: int = 3
     #: Files the headline arm's concurrent LOAD ingests.
     headline_load_files: int = 1_000
+    #: Linked files in the MetaCat catalog arm (the prepared-statement
+    #: acceptance gate is quoted on a 1M-file catalog; quick runs 100k).
+    metacat_files: int = 1_000_000
+    #: Metadata point queries per MetaCat phase (the same seeded mix
+    #: runs once interpolated, once prepared).
+    metacat_queries: int = 4_000
+    #: Compile cost the MetaCat arm opts into. The engine default keeps
+    #: ``TimingModel.compile_cpu`` at 0.0 (historical calibration); this
+    #: arm exists to expose the per-execution compile tax of
+    #: interpolated SQL, so it charges one.
+    metacat_compile_cpu: float = 0.004
     quick: bool = False
 
     @classmethod
     def quick_config(cls, seed: int = 42) -> "BenchConfig":
         """CI-scale: the bulk and daemon arms are already cheap (<1 s
         wall each), so keep them at full scale and shrink only the E1
-        workload."""
+        workload and the MetaCat catalog."""
         return cls(seed=seed, e1_clients=6, e1_duration=60.0,
-                   shard_counts=(1, 4, 8), quick=True)
+                   shard_counts=(1, 4, 8), metacat_files=100_000,
+                   metacat_queries=2_000, quick=True)
 
 
 #: arm name → (batch_datalinks, group_commit_window multiplier)
@@ -390,6 +402,23 @@ def run_burst(cfg: BenchConfig) -> dict:
         "force_reduction": round(
             off["wal_forces"] / max(auto["wal_forces"], 1), 2),
     }
+
+
+# ------------------------------------------------------------------- metacat
+
+def run_metacat(cfg: BenchConfig) -> dict:
+    """The MetaCat catalog arm: interpolated vs prepared statement
+    throughput over a 100k/1M-file catalog, plus the auto-RUNSTATS
+    vs cold-statistics plan proof (no ``set_stats`` anywhere)."""
+    from repro.workloads.metacat import (MetaCatConfig, cold_stats_probe,
+                                         run_metacat as run_workload)
+
+    mc = MetaCatConfig(seed=cfg.seed, files=cfg.metacat_files,
+                       queries=cfg.metacat_queries,
+                       compile_cpu=cfg.metacat_compile_cpu)
+    doc = run_workload(mc)
+    doc["cold"] = cold_stats_probe(mc)
+    return doc
 
 
 # ------------------------------------------------------------------- rr-vs-si
@@ -1214,7 +1243,7 @@ def run_e8_sentinel(cfg: BenchConfig, files: int = 200,
 #: The history row this tree's harness writes. Bump per PR so the
 #: BENCH_PERF.json ``history`` grows one row per PR (re-running the same
 #: tree only refreshes its own row).
-HISTORY_LABEL = "pr9-mvcc-snapshot-reads"
+HISTORY_LABEL = "pr10-prepared-statements"
 
 
 def update_history(history: list | None, entry: dict) -> list:
@@ -1255,6 +1284,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
     burst = run_burst(cfg)
     rr_vs_si = run_rr_vs_si(cfg)
     load = run_load(cfg)
+    metacat = run_metacat(cfg)
     headline_arm = run_headline(cfg)
     sentinels = {"e6": run_e6_sentinel(),
                  "e8": run_e8_sentinel(cfg)}
@@ -1271,7 +1301,10 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         f"deadlocks+timeouts "
         f"{rr_vs_si['rr']['deadlocks'] + rr_vs_si['rr']['timeouts']}→"
         f"{rr_vs_si['si']['deadlocks'] + rr_vs_si['si']['timeouts']} and "
-        f"p95 {rr_vs_si['p95_improvement']}x vs RR")
+        f"p95 {rr_vs_si['p95_improvement']}x vs RR; prepared statements "
+        f"{metacat['prepared_speedup']}x over interpolated SQL on the "
+        f"{cfg.metacat_files}-file MetaCat catalog with auto-RUNSTATS "
+        f"index plans ({metacat['auto_probe_plan']})")
     # The headline gate compares against THIS label's previous run (the
     # row about to be replaced), so a regression in the commit path fails
     # --check even before the trajectory is rewritten.
@@ -1307,6 +1340,14 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "rr_si_p95_rr_s": rr_vs_si["rr"]["p95_txn_s"],
         "rr_si_p95_si_s": rr_vs_si["si"]["p95_txn_s"],
         "rr_si_p95_improvement": rr_vs_si["p95_improvement"],
+        "metacat_prepared_speedup": metacat["prepared_speedup"],
+        "metacat_prepared_stmts_per_s":
+            metacat["prepared"]["stmts_per_s"],
+        "metacat_interpolated_stmts_per_s":
+            metacat["interpolated"]["stmts_per_s"],
+        "metacat_auto_probe_plan": metacat["auto_probe_plan"],
+        "metacat_auto_runstats_runs":
+            metacat["ingest"]["auto_runstats_runs"],
     }
     history = update_history(history, entry)
     return {
@@ -1345,6 +1386,9 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
             "headline_txns": cfg.headline_txns,
             "headline_links": cfg.headline_links,
             "headline_load_files": cfg.headline_load_files,
+            "metacat_files": cfg.metacat_files,
+            "metacat_queries": cfg.metacat_queries,
+            "metacat_compile_cpu": cfg.metacat_compile_cpu,
             "quick": cfg.quick,
         },
         "bulk": {"arms": arms, "ratios": ratios},
@@ -1356,6 +1400,7 @@ def run_bench(cfg: BenchConfig, history: list | None = None) -> dict:
         "burst": burst,
         "rr_vs_si": rr_vs_si,
         "load": load,
+        "metacat": metacat,
         "headline_arm": headline_arm,
         "headline_ops_per_sec": headline_arm["headline_ops_per_sec"],
         "headline_ops_per_sec_ref": headline_ref,
@@ -1448,6 +1493,30 @@ def check(doc: dict) -> list[str]:
         if load.get("speedup", 0) < 2:
             failures.append(
                 f"bulk LOAD speedup {load.get('speedup')} < 2x")
+    metacat = doc.get("metacat", {})
+    if metacat:
+        speedup = metacat.get("prepared_speedup") or 0
+        if speedup < 5:
+            failures.append(
+                f"metacat prepared-statement speedup {speedup} < 5x over "
+                f"interpolated SQL (compile_cpu="
+                f"{doc.get('config', {}).get('metacat_compile_cpu')})")
+        if metacat.get("auto_probe_plan") != "index_scan":
+            failures.append(
+                f"metacat probe plan {metacat.get('auto_probe_plan')!r} "
+                f"did not flip to index_scan under auto-RUNSTATS")
+        if metacat.get("auto_stats", {}).get("manual"):
+            failures.append(
+                "metacat auto arm has MANUAL statistics — the flip must "
+                "come from auto-RUNSTATS, not set_stats pinning")
+        if metacat.get("ingest", {}).get("auto_runstats_runs", 0) < 1:
+            failures.append(
+                "metacat ingest triggered zero auto-RUNSTATS refreshes")
+        if metacat.get("cold", {}).get("probe_plan") != "table_scan":
+            failures.append(
+                f"metacat cold-statistics control plan "
+                f"{metacat.get('cold', {}).get('probe_plan')!r} is not "
+                f"table_scan — the comparison is vacuous")
     ops = doc.get("headline_ops_per_sec")
     if ops is not None and ops <= 0:
         failures.append(f"headline_ops_per_sec {ops} <= 0")

@@ -114,14 +114,18 @@ class CopyDaemon:
         session = self.dlfm.db.session()
         rows = yield from session.execute(
             "SELECT filename, recovery_id, state FROM dfm_archive")
+        # One claim UPDATE compiled per sweep, executed per row (the
+        # archive table is exactly the repetitive-statement hot spot the
+        # prepared path exists for).
+        claim = yield from session.prepare(
+            "UPDATE dfm_archive SET state = ? WHERE filename = ? "
+            "AND recovery_id = ? AND state = ?")
         batch = []
         for path, recovery_id, state in rows.rows:
             key = (path, recovery_id)
             if key in self._claims:
                 continue  # queued or being archived right now
-            changed = yield from session.execute(
-                "UPDATE dfm_archive SET state = ? WHERE filename = ? "
-                "AND recovery_id = ? AND state = ?",
+            changed = yield from claim.execute(
                 (ST_INFLIGHT, path, recovery_id, state))
             if changed:
                 if state == ST_INFLIGHT:

@@ -68,14 +68,17 @@ class GarbageCollector:
         for backup_id, dbid, watermark in backups.rows:
             by_dbid.setdefault(dbid, []).append((backup_id, watermark))
         session = db.session()
+        drop_backup = yield from session.prepare(
+            "DELETE FROM dfm_backup WHERE backup_id = ? AND dbid = ?")
+        drop_entry = yield from session.prepare(
+            "DELETE FROM dfm_file WHERE filename = ? AND "
+            "recovery_id = ? AND state = ?")
         for dbid, cycles in sorted(by_dbid.items()):
             if len(cycles) <= keep:
                 continue
             oldest_kept_watermark = cycles[keep - 1][1]
             for backup_id, _ in cycles[keep:]:
-                yield from session.execute(
-                    "DELETE FROM dfm_backup WHERE backup_id = ? AND "
-                    "dbid = ?", (backup_id, dbid))
+                yield from drop_backup.execute((backup_id, dbid))
                 summary["backups"] += 1
                 self.backups_pruned += 1
             # Unlinked entries dead to every retained backup of this host.
@@ -86,9 +89,7 @@ class GarbageCollector:
             for path, recovery_id, unlink_rid in victims.rows:
                 if (unlink_rid is not None
                         and unlink_rid < oldest_kept_watermark):
-                    yield from session.execute(
-                        "DELETE FROM dfm_file WHERE filename = ? AND "
-                        "recovery_id = ? AND state = ?",
+                    yield from drop_entry.execute(
                         (path, recovery_id, schema.ST_UNLINKED))
                     summary["entries"] += 1
                     self.entries_removed += 1
@@ -104,20 +105,24 @@ class GarbageCollector:
         expired = yield from session.execute(
             "SELECT grp_id FROM dfm_group WHERE state = ? AND "
             "expires_at < ?", ("emptied", now))
+        find_leftovers = yield from session.prepare(
+            "SELECT filename, recovery_id FROM dfm_file WHERE "
+            "grp_id = ? AND state = ?")
+        drop_entry = yield from session.prepare(
+            "DELETE FROM dfm_file WHERE filename = ? AND "
+            "recovery_id = ? AND state = ?")
+        drop_group = yield from session.prepare(
+            "DELETE FROM dfm_group WHERE grp_id = ?")
         for (grp_id,) in expired.rows:
-            leftovers = yield from session.execute(
-                "SELECT filename, recovery_id FROM dfm_file WHERE "
-                "grp_id = ? AND state = ?", (grp_id, schema.ST_UNLINKED))
+            leftovers = yield from find_leftovers.execute(
+                (grp_id, schema.ST_UNLINKED))
             for path, recovery_id in leftovers.rows:
-                yield from session.execute(
-                    "DELETE FROM dfm_file WHERE filename = ? AND "
-                    "recovery_id = ? AND state = ?",
+                yield from drop_entry.execute(
                     (path, recovery_id, schema.ST_UNLINKED))
                 summary["entries"] += 1
                 self.entries_removed += 1
                 summary["copies"] += self._drop_copy(path, recovery_id)
-            yield from session.execute(
-                "DELETE FROM dfm_group WHERE grp_id = ?", (grp_id,))
+            yield from drop_group.execute((grp_id,))
             summary["groups"] += 1
             self.groups_removed += 1
         yield from session.commit()

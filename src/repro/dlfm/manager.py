@@ -87,6 +87,10 @@ class DLFM:
         self.archive = archive
         self.config = config or DLFMConfig.tuned()
         self.metrics = DLFMMetrics()
+        if (self.config.auto_runstats
+                and not self.config.local_db.auto_runstats):
+            self.config.local_db = self.config.local_db.with_changes(
+                auto_runstats=True)
         self.db = Database(sim, f"dlfm-{name}", self.config.local_db)
         schema.create_schema(self.db, sim)
         if self.config.pin_statistics:

@@ -91,15 +91,16 @@ def resolve_indoubts(host):
             acked.setdefault(txn_id, set()).add(server)
             committed += 1
             host.metrics.indoubt_commits += 1
-        # 3. Forget fully-acknowledged transactions.
+        # 3. Forget fully-acknowledged transactions — one prepared
+        #    DELETE executed per transaction.
         try:
+            forget = yield from session.prepare(
+                "DELETE FROM dlk_indoubt WHERE txn_id = ?")
             for txn_id in sorted(acked):
                 if acked[txn_id] != decisions[txn_id]:
                     continue  # partial ack: keep the decision, retry later
                 if txn_id in table_txns:
-                    yield from session.execute(
-                        "DELETE FROM dlk_indoubt WHERE txn_id = ?",
-                        (txn_id,))
+                    yield from forget.execute((txn_id,))
                 host.forget_decision(txn_id)
             yield from session.commit()
         except ReproError:

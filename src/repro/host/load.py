@@ -74,6 +74,11 @@ class LoadUtility:
         self._position = 0
         self._chans: dict[str, object] = {}
         self._begun: set[str] = set()
+        #: Prepared statements for the current piece's session (the
+        #: upsert trio executes once per file — the canonical
+        #: prepare-once / execute-many site).
+        self._piece_session = None
+        self._prepared: dict[str, object] = {}
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -220,28 +225,44 @@ class LoadUtility:
                                             recovery_id)
         return touched_servers
 
+    def _statement(self, session, sql: str):
+        """Generator: a prepared statement cached for the piece session."""
+        if self._piece_session is not session:
+            self._piece_session = session
+            self._prepared = {}
+        stmt = self._prepared.get(sql)
+        if stmt is None:
+            stmt = yield from session.prepare(sql)
+            self._prepared[sql] = stmt
+        return stmt
+
     def _upsert_row(self, session, values, url, recovery_id):
         # Idempotent host insert: a crash between the host piece commit
         # and the DLFM piece commit leaves the row behind while the link
         # was redone with a fresh recovery id — keep the shadow column in
         # sync either way.
-        existing = yield from session.execute(
-            f"SELECT COUNT(*) FROM {self.table} WHERE "
-            f"{self.column} = ?", (url,))
+        probe = yield from self._statement(
+            session,
+            f"SELECT COUNT(*) FROM {self.table} WHERE {self.column} = ?")
+        existing = yield from probe.execute((url,))
         if existing.scalar() == 0:
             columns = list(values) + [self.column,
                                       shadow_column(self.column)]
             placeholders = ", ".join("?" for _ in columns)
-            yield from session.execute(
+            insert = yield from self._statement(
+                session,
                 f"INSERT INTO {self.table} ({', '.join(columns)}) "
-                f"VALUES ({placeholders})",
+                f"VALUES ({placeholders})")
+            yield from insert.execute(
                 tuple(values.values()) + (url, recovery_id))
             self.stats.rows_inserted += 1
         else:
-            yield from session.execute(
+            update = yield from self._statement(
+                session,
                 f"UPDATE {self.table} SET "
                 f"{shadow_column(self.column)} = ? WHERE "
-                f"{self.column} = ?", (recovery_id, url))
+                f"{self.column} = ?")
+            yield from update.execute((recovery_id, url))
 
     def _finish(self):
         for server in sorted(getattr(self, "_begun", set())):

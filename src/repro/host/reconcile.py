@@ -52,14 +52,22 @@ def reconcile(host):
             chan.close()
         # 3. Dangling host references (file gone everywhere): null the
         #    datalink value so the database stops referencing a ghost.
+        #    One session and one prepared UPDATE per (table, column)
+        #    shape — the per-row commits stay, the per-row re-prepare
+        #    does not.
         nulled = 0
+        session = host.db.session()
+        fixers: dict = {}
         for path in result["dangling"]:
             for table, column, url in locations.get((server, path), ()):
-                session = host.db.session()
-                yield from session.execute(
-                    f"UPDATE {table} SET {column} = NULL, "
-                    f"{shadow_column(column)} = NULL WHERE {column} = ?",
-                    (url,))
+                fixer = fixers.get((table, column))
+                if fixer is None:
+                    fixer = yield from session.prepare(
+                        f"UPDATE {table} SET {column} = NULL, "
+                        f"{shadow_column(column)} = NULL "
+                        f"WHERE {column} = ?")
+                    fixers[(table, column)] = fixer
+                yield from fixer.execute((url,))
                 yield from session.commit()
                 nulled += 1
         result["nulled"] = nulled

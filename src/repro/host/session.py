@@ -238,7 +238,7 @@ class HostSession:
                 "multi-row INSERT is not supported for DATALINK tables")
         txn_id = self._ensure_txn()
         links = []   # (LinkFile request, server)
-        extra_cols, extra_vals = [], []
+        extra_cols, extra_params = [], []
         for col, spec in specs.items():
             if col not in stmt.columns:
                 continue
@@ -255,14 +255,21 @@ class HostSession:
                 access_ctl=spec.access_control,
                 recovery=spec.recovery_flag, route_epoch=epoch)))
             extra_cols.append(shadow_column(col))
-            extra_vals.append(f"'{recovery_id}'")
+            extra_params.append(recovery_id)
 
+        # The shadow recovery-id values travel as parameters, never as
+        # interpolated literals: the rebuilt text depends only on the
+        # statement's SHAPE, so every datalink INSERT of the same shape
+        # shares one bound plan. The original VALUES exprs re-render with
+        # their ``?`` markers intact (in order), so appending markers at
+        # the end keeps the original parameter indexes stable.
         columns = ", ".join(list(stmt.columns) + extra_cols)
         values = ", ".join([render_expr(v) for v in stmt.values]
-                           + extra_vals)
+                           + ["?"] * len(extra_params))
         new_sql = f"INSERT INTO {stmt.table} ({columns}) VALUES ({values})"
         return (yield from self._run_with_backout(
-            new_sql, params, links, unlinks=[]))
+            new_sql, tuple(params) + tuple(extra_params), links,
+            unlinks=[]))
 
     def _delete_datalink(self, stmt: ast.Delete, sql: str, params: tuple,
                          specs):
@@ -308,6 +315,7 @@ class HostSession:
 
         unlinks, links = [], []
         sets = [f"{c} = {render_expr(e)}" for c, e in stmt.assignments]
+        shadow_params = []
         for col, expr in dl_assignments.items():
             new_url = self._eval_value(expr, params)
             new_recid = None
@@ -324,8 +332,11 @@ class HostSession:
                         access_ctl=specs[col].access_control,
                         recovery=specs[col].recovery_flag,
                         route_epoch=epoch)))
-            sets.append(f"{shadow_column(col)} = "
-                        + (f"'{new_recid}'" if new_recid else "NULL"))
+            # Parameter marker, not a spliced literal (NULL included):
+            # the rebuilt text is one shared, cacheable shape per
+            # statement template instead of one plan per recovery id.
+            sets.append(f"{shadow_column(col)} = ?")
+            shadow_params.append(new_recid)
         for row in pre.rows:
             for i, col in enumerate(dl_assignments):
                 old_url = row[2 * i]
@@ -339,9 +350,14 @@ class HostSession:
                     self.host.recovery_ids.next(), grp_id=grp_id,
                     route_epoch=epoch)))
 
+        # Marker order in the rebuilt text: original SET markers, then
+        # the shadow-column markers, then the WHERE markers — the shadow
+        # parameters slot in between the two halves of ``params``.
         new_sql = (f"UPDATE {stmt.table} SET {', '.join(sets)}{where_text}")
+        new_params = (tuple(params[:n_set_params]) + tuple(shadow_params)
+                      + tuple(where_params))
         return (yield from self._run_with_backout(
-            new_sql, params, links, unlinks))
+            new_sql, new_params, links, unlinks))
 
     def _run_with_backout(self, sql: str, params: tuple, links, unlinks):
         """Execute the host statement + its datalink ops atomically at

@@ -24,6 +24,14 @@ class TimingModel:
 
     enabled: bool = False
     cpu_per_statement: float = 0.0005
+    #: Parse + optimize cost, charged only when a statement misses the
+    #: bound-plan cache (a re-bind after invalidation pays it again).
+    #: Dynamic SQL that interpolates literals gets a distinct cache key
+    #: per value and pays this on EVERY execution — the cost the
+    #: prepared-statement API exists to amortize. 0.0 keeps the
+    #: historical "compilation is free" calibration (like
+    #: ``index_entry``); the prepared-statement bench arm opts in.
+    compile_cpu: float = 0.0
     page_io: float = 0.004
     log_force: float = 0.006
     lock_op: float = 0.00002
@@ -47,6 +55,9 @@ class TimingModel:
 
     def statement_cost(self) -> float:
         return self.cpu_per_statement if self.enabled else 0.0
+
+    def compile_cost(self) -> float:
+        return self.compile_cpu if self.enabled else 0.0
 
     def io_cost(self, pages: int = 1) -> float:
         return self.page_io * pages if self.enabled else 0.0
@@ -127,6 +138,21 @@ class DBConfig:
     group_commit_burst_factor: float = 4.0
     #: Bound on ``Database._plan_cache`` entries (LRU eviction beyond it).
     plan_cache_size: int = 512
+    #: Auto-RUNSTATS: refresh a table's statistics once enough rows have
+    #: mutated since they were last computed, bumping the stats version
+    #: so cached plans re-bind — no more ``card=0`` scan plans on tables
+    #: that grew after creation. Off by default: the E4 ablation (and
+    #: DB2 up to v8) depends on stale statistics staying stale until
+    #: someone runs RUNSTATS. Tables with hand-crafted (``manual``)
+    #: statistics are never refreshed — the paper's pinning guard wins.
+    auto_runstats: bool = False
+    #: Minimum mutations (insert/update/delete rows) since the last
+    #: refresh before auto-RUNSTATS reconsiders a table.
+    auto_runstats_threshold: int = 200
+    #: Refresh once mutations exceed ``threshold + fraction * card`` —
+    #: the PostgreSQL-autovacuum shape: cheap tables refresh eagerly,
+    #: million-row tables only after proportional churn.
+    auto_runstats_fraction: float = 0.2
     #: Instant, REDO-only restart (Sauer & Härder): analysis over the
     #: durable tail builds per-page replay chains; pages are replayed
     #: lazily on first touch (plus a background drain in DLFM) instead
@@ -174,3 +200,7 @@ class DBConfig:
             raise ValueError("group_commit_burst_factor must be positive")
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if self.auto_runstats_threshold < 1:
+            raise ValueError("auto_runstats_threshold must be >= 1")
+        if self.auto_runstats_fraction < 0:
+            raise ValueError("auto_runstats_fraction must be >= 0")

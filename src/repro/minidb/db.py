@@ -46,8 +46,11 @@ class DBMetrics:
     table_scans: int = 0
     index_scans: int = 0
     plan_binds: int = 0
+    plan_hits: int = 0
     plan_invalidations: int = 0
     plan_evictions: int = 0
+    #: Auto-RUNSTATS refreshes triggered by mutation counters.
+    auto_runstats_runs: int = 0
     recoveries: int = 0
     #: Instant recovery: pages whose pending log chain was replayed on
     #: demand (or by the background replayer), and records applied.
@@ -151,6 +154,11 @@ class Database:
         #: above the oldest live snapshot lands here (the chaos checker
         #: surfaces entries as ``stale-merge`` violations).
         self.version_violations: list[str] = []
+        #: Auto-RUNSTATS bookkeeping: rows mutated per table since its
+        #: statistics were last computed. Volatile by design — a crash
+        #: loses the counters and staleness re-accumulates from zero,
+        #: exactly like DB2's in-memory UDI counters.
+        self.stats_mutations: dict[str, int] = {}
         for table in self.catalog.tables.values():
             self.heaps[table.name] = Heap(table.name, self.pool)
         for index in self.catalog.indexes.values():
@@ -215,6 +223,7 @@ class Database:
         self.locks.release_all(txn)
         self.txns.end(txn, TxnState.COMMITTED)
         self.metrics.commits += 1
+        self._maybe_auto_runstats()
         self._maybe_soft_checkpoint()
 
     def prepare(self, txn: Transaction):
@@ -720,15 +729,30 @@ class Database:
 
     def get_plan(self, sql: str):
         """Bound-plan lookup; stale statistics versions force a re-bind."""
+        return self.bind_plan(sql)[0]
+
+    def bind_plan(self, sql: str, stmt=None):
+        """Bound-plan lookup returning ``(plan, hit)``.
+
+        ``hit`` distinguishes a cache hit (no parse, no optimize — the
+        prepared-statement fast path) from a fresh bind, which is what
+        :class:`~repro.minidb.session.Session` charges ``compile_cpu``
+        for. A cached plan whose statistics versions went stale counts
+        as a miss: it re-parses, re-optimizes and pays compilation
+        again. ``stmt`` (if given) is a pre-parsed AST reused on a miss,
+        so ``Session.prepare`` parses exactly once.
+        """
         cached = self._plan_cache.get(sql)
         if cached is not None:
             plan, versions = cached
             if all(self.catalog.stats_version(t) == v
                    for t, v in versions.items()):
                 self._plan_cache.move_to_end(sql)
-                return plan
+                self.metrics.plan_hits += 1
+                return plan, True
             self.metrics.plan_invalidations += 1
-        stmt = parse(sql)
+        if stmt is None:
+            stmt = parse(sql)
         plan = plan_statement(self.catalog, stmt)
         versions = {t: self.catalog.stats_version(t) for t in plan.tables}
         self._plan_cache[sql] = (plan, versions)
@@ -737,7 +761,7 @@ class Database:
             self._plan_cache.popitem(last=False)
             self.metrics.plan_evictions += 1
         self.metrics.plan_binds += 1
-        return plan
+        return plan, False
 
     def _invalidate_plans(self, table: Optional[str] = None) -> None:
         """Evict cached plans — all of them, or those touching ``table``.
@@ -780,12 +804,51 @@ class Database:
         self.catalog.runstats(
             table, card=heap.nrows, npages=heap.npages,
             colcard={c: len(vals) for c, vals in distinct.items()})
+        self.stats_mutations.pop(table, None)
 
     def set_table_stats(self, table: str, card: int,
                         npages: Optional[int] = None,
                         colcard: Optional[dict[str, int]] = None) -> None:
         """Hand-craft statistics (the paper's catalog-poking utility)."""
         self.catalog.set_stats(table, card, npages, colcard)
+        self.stats_mutations.pop(table, None)
+
+    def note_mutation(self, table: str, rows: int = 1) -> None:
+        """Count mutated rows toward the table's auto-RUNSTATS trigger."""
+        self.stats_mutations[table] = self.stats_mutations.get(table, 0) + rows
+
+    def _auto_runstats_due(self, table: str) -> bool:
+        stats = self.catalog.stats.get(table)
+        if stats is None or stats.manual:
+            # Dropped table, or hand-crafted statistics: the E4 pinning
+            # guard always wins over the refresh daemon.
+            return False
+        due = (self.config.auto_runstats_threshold
+               + self.config.auto_runstats_fraction * stats.card)
+        return self.stats_mutations.get(table, 0) >= due
+
+    def _maybe_auto_runstats(self) -> None:
+        """Refresh statistics for tables whose mutation counters crossed
+        the staleness threshold (runs inline at commit, like DB2's
+        real-time statistics collection). The refresh bumps the stats
+        version, so every cached plan on the table re-binds — the
+        ``card=0`` table-scan cliff heals itself as tables grow."""
+        if not self.config.auto_runstats or not self.stats_mutations:
+            return
+        for table in sorted(self.stats_mutations):
+            if table in self._bulk_loads:
+                continue  # LOAD pending: stats come after the build phase
+            if not self._auto_runstats_due(table):
+                continue
+            injector = self.sim.injector
+            if injector.enabled:
+                # Crash with mutations applied but the refresh (and its
+                # plan invalidation) not yet installed — restart must
+                # leave plans consistent with whatever stats survived.
+                injector.maybe_crash(f"runstats.refresh:{self.name}",
+                                     self.name)
+            self.runstats(table)
+            self.metrics.auto_runstats_runs += 1
 
     # ------------------------------------------------------------------ checkpoint / crash
 
@@ -857,6 +920,7 @@ class Database:
         self.replay_pending.clear()
         self._plan_cache.clear()
         self._bulk_loads.clear()
+        self.stats_mutations.clear()
         self.unbilled_index_entries = 0.0
 
     def restart(self) -> dict:

@@ -36,6 +36,44 @@ class _ExplainPlan:
         self.row = row
 
 
+class PreparedStatement:
+    """A statement handle from :meth:`Session.prepare`: parse once, bind
+    once, execute many.
+
+    The handle does NOT pin a plan object — every execution goes through
+    the shared bound-plan cache, so all the invalidation machinery works
+    unchanged: a stats-version bump or DDL eviction re-binds on the next
+    execution (paying ``compile_cpu`` again), and a crash clears the
+    cache so restarted executions re-prepare implicitly, exactly like
+    DB2 packages. What the handle guarantees is a *stable cache key*
+    (parameter markers, never interpolated literals) plus a one-time
+    parse, which is what makes the steady state all cache hits.
+    """
+
+    def __init__(self, session: "Session", sql: str):
+        self.session = session
+        self.sql = sql
+        self.executions = 0
+
+    @property
+    def plan(self):
+        """The currently cached plan, or None if evicted/invalidated."""
+        cached = self.session.db._plan_cache.get(self.sql)
+        return cached[0] if cached is not None else None
+
+    def execute(self, params: tuple = ()):
+        """Generator: run the prepared statement with ``params``."""
+        self.executions += 1
+        result = yield from self.session.execute(self.sql, params)
+        return result
+
+    def query_one(self, params: tuple = ()):
+        """Generator: run a prepared SELECT, return the one row or None."""
+        self.executions += 1
+        row = yield from self.session.query_one(self.sql, params)
+        return row
+
+
 class Session:
     def __init__(self, db, isolation: str):
         self.db = db
@@ -102,7 +140,14 @@ class Session:
         if cost > 0:
             yield Timeout(cost)
 
-        plan = self._plan_or_ddl(sql)
+        plan, hit = self._plan_or_ddl(sql)
+        if not hit:
+            # Parse + optimize happened: charge compilation. A cache hit
+            # (the prepared-statement steady state) skips this entirely —
+            # that asymmetry is the whole point of preparing.
+            cost = self.db.config.timing.compile_cost()
+            if cost > 0:
+                yield Timeout(cost)
         if plan is None:
             return None  # DDL handled eagerly
 
@@ -140,16 +185,17 @@ class Session:
         return result
 
     def _plan_or_ddl(self, sql: str):
+        """Resolve ``sql`` to ``(plan, cache_hit)`` — None for DDL."""
         stmt = None
         if sql not in self.db._plan_cache:
             stmt = parse(sql)
             if isinstance(stmt, (ast.CreateTable, ast.CreateIndex,
                                  ast.DropTable, ast.DropIndex)):
                 self.db.ddl(stmt)
-                return None
+                return None, False
             if isinstance(stmt, ast.Explain):
-                return self._explain_plan(stmt)
-        return self.db.get_plan(sql)
+                return self._explain_plan(stmt), False
+        return self.db.bind_plan(sql, stmt)
 
     def _explain_plan(self, stmt):
         """EXPLAIN: plan the inner statement, return a descriptor plan."""
@@ -170,6 +216,28 @@ class Session:
         cost += self.db.config.timing.index_entry_cost(entries)
         if cost > 0:
             yield Timeout(cost)
+
+    # ------------------------------------------------------------------ prepare
+
+    def prepare(self, sql: str):
+        """Generator: compile ``sql`` once, returning a
+        :class:`PreparedStatement` for repeated execution.
+
+        Binding happens now, through the shared plan cache — a miss
+        charges ``compile_cpu`` here so the executions themselves run
+        at cache-hit cost. DDL and EXPLAIN have no bound plan and
+        cannot be prepared.
+        """
+        stmt = parse(sql)
+        if isinstance(stmt, (ast.CreateTable, ast.CreateIndex,
+                             ast.DropTable, ast.DropIndex, ast.Explain)):
+            raise DatabaseError(f"cannot prepare DDL/EXPLAIN: {sql!r}")
+        _, hit = self.db.bind_plan(sql, stmt)
+        if not hit:
+            cost = self.db.config.timing.compile_cost()
+            if cost > 0:
+                yield Timeout(cost)
+        return PreparedStatement(self, sql)
 
     # ------------------------------------------------------------------ sugar
 

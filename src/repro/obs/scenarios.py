@@ -174,6 +174,18 @@ def sharded(seed: int = 11, shards: int = 3):
     return tracer, registry, meta
 
 
+def _plan_cache_counters(db) -> dict:
+    """The plan-cache group: how statement compilation is amortized."""
+    m = db.metrics
+    return {
+        "hits": m.plan_hits,
+        "binds": m.plan_binds,
+        "invalidations": m.plan_invalidations,
+        "evictions": m.plan_evictions,
+        "auto_runstats": m.auto_runstats_runs,
+    }
+
+
 def _import_counters(registry, system) -> None:
     """Snapshot flat engine counters into the registry for the report."""
     for name, dlfm in sorted(system.dlfms.items()):
@@ -185,6 +197,8 @@ def _import_counters(registry, system) -> None:
                                    dlfm.db.locks.metrics.snapshot())
         registry.register_counters(f"wal.{name}",
                                    dict(dlfm.db.wal.metrics.__dict__))
+        registry.register_counters(f"plancache.{name}",
+                                   _plan_cache_counters(dlfm.db))
         if dlfm.db.wal.auto_windows:
             registry.histogram(f"wal.{name}.auto_window").extend(
                 dlfm.db.wal.auto_windows)
@@ -192,6 +206,8 @@ def _import_counters(registry, system) -> None:
                                system.host.db.locks.metrics.snapshot())
     registry.register_counters("wal.host",
                                dict(system.host.db.wal.metrics.__dict__))
+    registry.register_counters("plancache.host",
+                               _plan_cache_counters(system.host.db))
     if system.host.db.wal.auto_windows:
         registry.histogram("wal.host.auto_window").extend(
             system.host.db.wal.auto_windows)

@@ -424,6 +424,7 @@ class Executor:
         heap.insert(row, rid=rid)
         self.db.apply_index_insert(table, row, rid)
         self.db.metrics.rows_inserted += 1
+        self.db.note_mutation(table.name)
 
     # ------------------------------------------------------------------ UPDATE
 
@@ -469,6 +470,8 @@ class Executor:
             self.db.apply_index_update(table, current, new_row, rid)
             count += 1
         self.db.metrics.rows_updated += count
+        if count:
+            self.db.note_mutation(table.name, count)
         return count
 
     # ------------------------------------------------------------------ DELETE
@@ -506,6 +509,8 @@ class Executor:
             self.db.apply_index_delete(table, current, rid)
             count += 1
         self.db.metrics.rows_deleted += count
+        if count:
+            self.db.note_mutation(table.name, count)
         return count
 
     def _index_maintenance_locks(self, txn, table, old_row,

@@ -1,0 +1,69 @@
+"""Hot host/DLFM code paths run as parameterized, cache-hitting SQL.
+
+The PR's conversion work: datalink INSERT/UPDATE rewriting, the LOAD
+upsert trio, reconcile fixups and daemon sweeps must produce SQL whose
+text depends only on statement SHAPE (markers, never values), so the
+second execution of the same shape is a plan-cache hit.
+"""
+
+from tests.dlfm.conftest import insert_clip, url
+
+
+def test_datalink_insert_shape_is_cached(media):
+    """Two INSERTs through the datalink rewriter: the rebuilt text is
+    identical (the recovery id travels as a parameter, not a literal),
+    so the second one binds nothing new on the host database."""
+    host_db = media.host.db
+
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        binds_before = host_db.metrics.plan_binds
+        hits_before = host_db.metrics.plan_hits
+        yield from insert_clip(session, 1)
+        yield from session.commit()
+        return (host_db.metrics.plan_binds - binds_before,
+                host_db.metrics.plan_hits - hits_before)
+
+    new_binds, new_hits = media.run(go())
+    assert new_binds == 0
+    assert new_hits >= 1
+
+
+def test_datalink_update_shape_is_cached(media):
+    host_db = media.host.db
+
+    def go():
+        session = media.session()
+        for i in range(3):
+            yield from insert_clip(session, i)
+        yield from session.commit()
+        yield from session.execute(
+            "UPDATE clips SET video = ? WHERE id = ?", (url(3), 0))
+        yield from session.commit()
+        binds_before = host_db.metrics.plan_binds
+        yield from session.execute(
+            "UPDATE clips SET video = ? WHERE id = ?", (url(4), 1))
+        yield from session.commit()
+        return host_db.metrics.plan_binds - binds_before
+
+    assert media.run(go()) == 0
+
+
+def test_dlfm_forward_path_hits_plan_cache(media):
+    """The DLFM-side link path (dfm_file probes/inserts) is fully
+    parameterized: a second link transaction binds no new plans on the
+    DLFM local database either."""
+    dlfm_db = media.dlfms["fs1"].db
+
+    def go():
+        session = media.session()
+        yield from insert_clip(session, 0)
+        yield from session.commit()
+        binds_before = dlfm_db.metrics.plan_binds
+        yield from insert_clip(session, 1)
+        yield from session.commit()
+        return dlfm_db.metrics.plan_binds - binds_before
+
+    assert media.run(go()) == 0

@@ -1,0 +1,49 @@
+"""MetaCat workload: prepared-vs-interpolated and auto-vs-cold stats.
+
+Small configurations of the million-file catalog arm — enough rows to
+trip auto-RUNSTATS and show the compile-tax gap, small enough for the
+unit-test budget.
+"""
+
+from repro.workloads.metacat import (MetaCatConfig, cold_stats_probe,
+                                     run_metacat)
+
+SMALL = MetaCatConfig(files=4_000, datasets=40, namespaces=8,
+                      queries=200, piece=500)
+
+
+def test_prepared_beats_interpolated_and_stats_flip():
+    doc = run_metacat(SMALL)
+    # Same seeded mix both phases: equal statement counts.
+    assert doc["interpolated"]["statements"] == 200
+    assert doc["prepared"]["statements"] == 200
+    # Prepared: 4 binds (one per shape), everything else cache hits.
+    assert doc["prepared"]["plan_binds"] == 4
+    assert doc["prepared"]["plan_hits"] == 200
+    # Interpolated: literal splicing re-binds for (nearly) every value.
+    assert doc["interpolated"]["plan_binds"] > 100
+    # The compile tax dominates: well past the bench's 5x gate even at
+    # this small scale.
+    assert doc["prepared_speedup"] >= 5
+    # Stats proof: the point query runs on the index WITHOUT set_stats.
+    assert doc["auto_probe_plan"] == "index_scan"
+    assert not doc["auto_stats"]["manual"]
+    assert doc["auto_stats"]["card"] > 0
+    assert doc["ingest"]["auto_runstats_runs"] >= 1
+
+
+def test_cold_statistics_control_stays_on_scans():
+    cold = cold_stats_probe(SMALL, files=2_000)
+    assert cold["probe_plan"] == "table_scan"
+    assert cold["card_seen"] == 0
+    assert cold["auto_runstats_runs"] == 0
+
+
+def test_deterministic_across_runs():
+    assert run_metacat(SMALL) == run_metacat(SMALL)
+
+
+def test_seed_changes_the_mix_but_not_the_proof():
+    doc = run_metacat(SMALL.with_changes(seed=99))
+    assert doc["prepared_speedup"] >= 5
+    assert doc["auto_probe_plan"] == "index_scan"
